@@ -1,0 +1,173 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each benchmark
+// executes the corresponding experiment end-to-end — workload generation,
+// capacity sizing, scenario simulation — and reports the rendered rows via
+// b.Log on the first iteration so a bench run doubles as a reproduction
+// run. Micro-benchmarks of the core primitives follow.
+package backuppower_test
+
+import (
+	"testing"
+	"time"
+
+	backuppower "backuppower"
+	"backuppower/internal/battery"
+	"backuppower/internal/cluster"
+	"backuppower/internal/cost"
+	"backuppower/internal/experiments"
+	"backuppower/internal/migration"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tb := e.Run()
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		// Print the reproduced table exactly once (the calibration round
+		// always runs with b.N == 1), so a bench run doubles as a
+		// reproduction run without flooding the output.
+		if i == 0 && b.N == 1 {
+			b.Log("\n" + tb.String())
+		}
+	}
+}
+
+// Paper tables.
+
+func BenchmarkTable1CostParameters(b *testing.B)     { benchExperiment(b, "table1") }
+func BenchmarkTable2InfrastructureCost(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3Configurations(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkTable4TechniquePhases(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkTable5TechniqueImpact(b *testing.B)    { benchExperiment(b, "table5") }
+func BenchmarkTable6HybridTechniques(b *testing.B)   { benchExperiment(b, "table6") }
+func BenchmarkTable8SaveResume(b *testing.B)         { benchExperiment(b, "table8") }
+
+// Paper figures.
+
+func BenchmarkFig1OutageDistributions(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkFig3BatteryRuntime(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig5ConfigTradeoffs(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6SpecjbbTechniques(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7Memcached(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig8WebSearch(b *testing.B)           { benchExperiment(b, "fig8") }
+func BenchmarkFig9SpecCPU(b *testing.B)             { benchExperiment(b, "fig9") }
+func BenchmarkFig10TCOCrossover(b *testing.B)       { benchExperiment(b, "fig10") }
+
+// Ablations (DESIGN.md §6).
+
+func BenchmarkAblationPeukertVsLinear(b *testing.B)   { benchExperiment(b, "ablation-peukert") }
+func BenchmarkAblationProactiveInterval(b *testing.B) { benchExperiment(b, "ablation-proactive") }
+func BenchmarkAblationConsolidation(b *testing.B)     { benchExperiment(b, "ablation-consolidation") }
+func BenchmarkAblationDGStartup(b *testing.B)         { benchExperiment(b, "ablation-dgstartup") }
+func BenchmarkAblationLiIon(b *testing.B)             { benchExperiment(b, "ablation-liion") }
+func BenchmarkAblationProportionality(b *testing.B) {
+	benchExperiment(b, "ablation-proportionality")
+}
+func BenchmarkMemSizeSensitivity(b *testing.B) { benchExperiment(b, "memsize") }
+
+// Section 7 extensions.
+
+func BenchmarkExtAvailability(b *testing.B) { benchExperiment(b, "ext-availability") }
+func BenchmarkExtNVDIMM(b *testing.B)       { benchExperiment(b, "ext-nvdimm") }
+func BenchmarkExtGeoFailover(b *testing.B)  { benchExperiment(b, "ext-geo") }
+func BenchmarkExtBarelyAlive(b *testing.B)  { benchExperiment(b, "ext-barelyalive") }
+func BenchmarkExtLiIonSizing(b *testing.B)  { benchExperiment(b, "ext-liion-sizing") }
+func BenchmarkExtPlacement(b *testing.B)    { benchExperiment(b, "ext-placement") }
+func BenchmarkExtCheckpoint(b *testing.B)   { benchExperiment(b, "ext-checkpoint") }
+func BenchmarkExtDiurnal(b *testing.B)      { benchExperiment(b, "ext-diurnal") }
+func BenchmarkExtPortfolio(b *testing.B)    { benchExperiment(b, "ext-portfolio") }
+func BenchmarkExtOpEx(b *testing.B)         { benchExperiment(b, "ext-opex") }
+func BenchmarkExtPolicy(b *testing.B)       { benchExperiment(b, "ext-policy") }
+func BenchmarkExtWear(b *testing.B)         { benchExperiment(b, "ext-wear") }
+func BenchmarkExtUPSTopology(b *testing.B)  { benchExperiment(b, "ext-upstopology") }
+func BenchmarkExtGeoFleet(b *testing.B)     { benchExperiment(b, "ext-geofleet") }
+
+// Micro-benchmarks of the primitives the experiments lean on.
+
+func BenchmarkScenarioSimulate(b *testing.B) {
+	env := technique.DefaultEnv(64)
+	scn := cluster.Scenario{
+		Env:       env,
+		Workload:  workload.Specjbb(),
+		Backup:    cost.LargeEUPS(env.PeakPower()),
+		Technique: technique.ThrottleThenSave{PState: 6, Save: technique.SaveSleep, ActiveFraction: 0.5},
+		Outage:    time.Hour,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Simulate(scn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinCostSizing(b *testing.B) {
+	fw := backuppower.NewFramework(64)
+	w := workload.Specjbb()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := fw.MinCostUPS(technique.Throttling{PState: 6}, w, 30*time.Minute); !ok {
+			b.Fatal("sizing failed")
+		}
+	}
+}
+
+func BenchmarkBatteryDrain(b *testing.B) {
+	pack := battery.NewPack(battery.LeadAcid(), 4*units.Kilowatt, 10*time.Minute)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s battery.State
+		for !s.Depleted() {
+			s.Drain(pack, 3*units.Kilowatt, time.Minute)
+		}
+	}
+}
+
+func BenchmarkPrecopyMigration(b *testing.B) {
+	cfg := migration.DefaultConfig()
+	w := workload.Specjbb()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := migration.Live(cfg, w, 1)
+		if !p.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+func BenchmarkAdaptivePolicyDecide(b *testing.B) {
+	fw := backuppower.NewFramework(64)
+	pol, err := backuppower.NewAdaptivePolicy(fw.Env, workload.Specjbb(),
+		backuppower.NewUPS(fw.Env.PeakPower(), 20*time.Minute))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pol.Decide(time.Duration(i%3600)*time.Second, 0.8)
+		if i%64 == 0 {
+			pol.Reset(5 * time.Minute)
+		}
+	}
+}
+
+func BenchmarkBestForConfig(b *testing.B) {
+	fw := backuppower.NewFramework(16)
+	w := workload.Memcached()
+	cfg := cost.LargeEUPS(fw.Env.PeakPower())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res, _ := fw.BestForConfig(cfg, w, 30*time.Minute); !res.Survived {
+			b.Fatal("best config should survive")
+		}
+	}
+}

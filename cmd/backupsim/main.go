@@ -1,0 +1,113 @@
+// Command backupsim runs one outage scenario — a Table 3 configuration, a
+// Section 5 technique, a Table 7 workload, and an outage duration — and
+// prints the resulting metrics plus the power/performance timeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"backuppower/internal/cluster"
+	"backuppower/internal/cost"
+	"backuppower/internal/report"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+func techniques(env technique.Env) map[string]technique.Technique {
+	out := map[string]technique.Technique{"baseline": technique.Baseline{}}
+	deepest := len(env.Server.PStates) - 1
+	out["throttle"] = technique.Throttling{PState: deepest}
+	out["throttle-light"] = technique.Throttling{PState: 1}
+	out["migration"] = technique.Migration{}
+	out["proactive-migration"] = technique.Migration{Proactive: true}
+	out["sleep"] = technique.Sleep{}
+	out["sleep-l"] = technique.Sleep{LowPower: true}
+	out["hibernate"] = technique.Hibernate{}
+	out["hibernate-l"] = technique.Hibernate{LowPower: true}
+	out["proactive-hibernate"] = technique.Hibernate{Proactive: true}
+	out["throttle+sleep-l"] = technique.ThrottleThenSave{PState: deepest, Save: technique.SaveSleep}
+	out["throttle+hibernate"] = technique.ThrottleThenSave{PState: deepest, Save: technique.SaveHibernate}
+	out["migration+sleep-l"] = technique.MigrationThenSleep{}
+	// Section 7 extensions.
+	out["nvdimm"] = technique.NVDIMM{}
+	out["nvdimm+throttle"] = technique.NVDIMMThrottle{PState: deepest}
+	out["barely-alive"] = technique.BarelyAlive{}
+	out["geo-failover"] = technique.GeoFailover{Save: technique.SaveSleep}
+	out["capped"] = technique.CappedThrottling{Budget: env.PeakPower() / 2}
+	return out
+}
+
+func main() {
+	servers := flag.Int("servers", 64, "number of servers")
+	cfgName := flag.String("config", "LargeEUPS", "Table 3 configuration name")
+	techName := flag.String("technique", "throttle", "outage-handling technique")
+	wlName := flag.String("workload", "specjbb", "workload (specjbb, web-search, memcached, speccpu-mcf8)")
+	outageMin := flag.Float64("outage", 30, "outage duration (minutes)")
+	timeline := flag.Bool("timeline", false, "print the power/perf timeline")
+	flag.Parse()
+
+	env := technique.DefaultEnv(*servers)
+	techs := techniques(env)
+
+	tech, ok := techs[strings.ToLower(*techName)]
+	if !ok {
+		var names []string
+		for n := range techs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "unknown technique %q; options: %s\n", *techName, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	w, ok := workload.ByName(*wlName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wlName)
+		os.Exit(2)
+	}
+	b, ok := cost.ByName(*cfgName, env.PeakPower())
+	if !ok {
+		var names []string
+		for _, c := range cost.Table3(env.PeakPower()) {
+			names = append(names, c.Name)
+		}
+		fmt.Fprintf(os.Stderr, "unknown config %q; options: %s\n", *cfgName, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+
+	res, err := cluster.Simulate(cluster.Scenario{
+		Env: env, Workload: w, Backup: b, Technique: tech,
+		Outage: time.Duration(*outageMin * float64(time.Minute)),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario: %s / %s / %s / %s outage (%d servers, peak %v)\n",
+		b.Name, res.Technique, w.Name, report.FormatDuration(res.Outage), *servers, env.PeakPower())
+	fmt.Printf("  cost (vs MaxPerf):  %.2f (%v)\n", res.Cost, b.AnnualCost())
+	fmt.Printf("  survived:           %v", res.Survived)
+	if !res.Survived {
+		fmt.Printf("  (state lost at %s)", report.FormatDuration(res.CrashedAt))
+	}
+	fmt.Println()
+	fmt.Printf("  perf during outage: %.2f\n", res.Perf)
+	fmt.Printf("  down time:          %s\n", report.DurationBand(res.DowntimeMin, res.DowntimeMax))
+	fmt.Printf("  peak UPS draw:      %v (capacity %v)\n", res.PeakUPSDraw, b.UPS.PowerCapacity)
+	fmt.Printf("  UPS energy used:    %v (%.0f%% charge left)\n", res.UPSEnergy, res.UPSRemaining*100)
+
+	if *timeline {
+		fmt.Println("\n  t        backup load   perf")
+		for _, s := range res.PowerTrace.Samples() {
+			perf := res.PerfTrace.At(s.At)
+			fmt.Printf("  %-8s %-12v %.2f\n",
+				report.FormatDuration(s.At), units.Watts(s.Value), perf)
+		}
+	}
+}

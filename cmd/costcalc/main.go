@@ -1,0 +1,44 @@
+// Command costcalc prices an arbitrary backup configuration with the
+// paper's cost model (Equations 1-2, Table 1 rates) and compares it to the
+// MaxPerf baseline at the same peak.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"backuppower/internal/cost"
+	"backuppower/internal/units"
+)
+
+func main() {
+	peakMW := flag.Float64("peak", 10, "datacenter peak power (MW)")
+	dgMW := flag.Float64("dg", 0, "DG power capacity (MW)")
+	upsMW := flag.Float64("ups", 10, "UPS power capacity (MW)")
+	runtimeMin := flag.Float64("runtime", 30, "UPS rated runtime at capacity (minutes)")
+	flag.Parse()
+
+	if *peakMW <= 0 {
+		fmt.Fprintln(os.Stderr, "peak must be positive")
+		os.Exit(2)
+	}
+	peak := units.Watts(*peakMW) * units.Megawatt
+	b := cost.Custom("custom",
+		units.Watts(*dgMW)*units.Megawatt,
+		units.Watts(*upsMW)*units.Megawatt,
+		time.Duration(*runtimeMin*float64(time.Minute)))
+	if err := b.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	bd := cost.Itemize(b)
+	fmt.Printf("configuration: DG %v, UPS %v for %v\n",
+		b.DG.PowerCapacity, b.UPS.PowerCapacity, b.UPS.Runtime)
+	fmt.Printf("  DG cap-ex:          %v\n", bd.DG)
+	fmt.Printf("  UPS power cap-ex:   %v\n", bd.UPSPower)
+	fmt.Printf("  UPS energy cap-ex:  %v\n", bd.UPSEnergy)
+	fmt.Printf("  total:              %v\n", bd.Total)
+	fmt.Printf("  vs MaxPerf@%v:  %.2fx\n", peak, b.NormalizedCost(peak))
+}

@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's tables and figures from the
+// models. With no flags it runs everything in paper order; -exp selects a
+// single experiment and -list enumerates the ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"backuppower/internal/experiments"
+	"backuppower/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	render := func(t report.Table, w io.Writer) error { return t.Render(w) }
+	switch *format {
+	case "text":
+	case "csv":
+		render = func(t report.Table, w io.Writer) error { return t.RenderCSV(w) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		if err := render(e.Run(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range experiments.Registry() {
+		if err := render(e.Run(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Command outagegen samples yearly utility-outage traces from the Figure 1
+// distributions, printing each outage and per-year summaries — the inputs a
+// capacity planner feeds to the framework.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"backuppower/internal/outage"
+	"backuppower/internal/report"
+)
+
+func main() {
+	years := flag.Int("years", 5, "number of years to sample")
+	seed := flag.Int64("seed", 1, "random seed (traces are reproducible)")
+	quiet := flag.Bool("summary", false, "print only per-year summaries")
+	flag.Parse()
+
+	g := outage.NewGenerator(*seed)
+	d := outage.DurationDistribution()
+	fmt.Printf("distribution: mean %s, median %s, P95 %s\n\n",
+		report.FormatDuration(d.Mean()),
+		report.FormatDuration(d.Quantile(0.5)),
+		report.FormatDuration(d.Quantile(0.95)))
+
+	for y := 1; y <= *years; y++ {
+		events := g.Year()
+		total := outage.TotalOutageTime(events)
+		fmt.Printf("year %d: %d outages, %s total\n", y, len(events), report.FormatDuration(total))
+		if *quiet {
+			continue
+		}
+		for _, e := range events {
+			fmt.Printf("  at %6.1fd  for %s\n", e.Start.Hours()/24, report.FormatDuration(e.Duration))
+		}
+	}
+}

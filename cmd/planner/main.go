@@ -1,0 +1,105 @@
+// Command planner runs the operator-facing analyses: the yearly
+// availability Monte-Carlo across the Table 3 configurations (-mode
+// availability) and the heterogeneous portfolio design (-mode portfolio).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"backuppower/internal/availability"
+	"backuppower/internal/core"
+	"backuppower/internal/cost"
+	"backuppower/internal/loadprofile"
+	"backuppower/internal/portfolio"
+	"backuppower/internal/report"
+	"backuppower/internal/workload"
+)
+
+func main() {
+	mode := flag.String("mode", "availability", "availability or portfolio")
+	servers := flag.Int("servers", 64, "servers per section")
+	wlName := flag.String("workload", "specjbb", "workload for availability mode")
+	years := flag.Int("years", 25, "years to simulate")
+	seed := flag.Int64("seed", 2014, "trace seed")
+	diurnal := flag.Bool("diurnal", false, "apply a diurnal load profile")
+	flag.Parse()
+
+	switch *mode {
+	case "availability":
+		runAvailability(*servers, *wlName, *years, *seed, *diurnal)
+	case "portfolio":
+		runPortfolio(*servers)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runAvailability(servers int, wlName string, years int, seed int64, diurnal bool) {
+	w, ok := workload.ByName(wlName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", wlName)
+		os.Exit(2)
+	}
+	fw := core.New(servers)
+	t := report.Table{
+		Title: fmt.Sprintf("yearly availability, %s, %d servers, %d years (seed %d)",
+			w.Name, servers, years, seed),
+		Columns: []string{"configuration", "cost", "downtime/yr", "nines", "state losses/yr", "loss $/KW/yr"},
+	}
+	var prof loadprofile.Profile
+	if diurnal {
+		prof = loadprofile.Typical()
+	}
+	for _, b := range cost.Table3(fw.Env.PeakPower()) {
+		p := &availability.Planner{Framework: fw, Workload: w, Backup: b, Load: prof}
+		sum, _, err := p.SimulateYears(years, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.AddRow(b.Name, sum.NormCost, sum.MeanDowntime,
+			fmt.Sprintf("%.1f", sum.Nines),
+			fmt.Sprintf("%.2f", sum.MeanStateLossesYear),
+			fmt.Sprintf("%.1f", sum.RevenueLossPerKWYear))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runPortfolio(servers int) {
+	p := portfolio.NewPlanner(core.New(servers))
+	reqs := []portfolio.Requirement{
+		{Workload: workload.WebSearch(), Servers: servers, SLA: portfolio.SLA{
+			Outage: 10 * time.Minute, MinPerf: 0.4, MaxDowntime: time.Minute}},
+		{Workload: workload.Memcached(), Servers: servers / 2, SLA: portfolio.SLA{
+			Outage: 10 * time.Minute, MinPerf: 0.3, MaxDowntime: 5 * time.Minute}},
+		{Workload: workload.Specjbb(), Servers: servers / 2, SLA: portfolio.SLA{
+			Outage: 30 * time.Minute, MaxDowntime: 45 * time.Minute, RequireStateSafety: true}},
+		{Workload: workload.SpecCPU(), Servers: servers * 2, SLA: portfolio.SLA{
+			Outage: 30 * time.Minute, MaxDowntime: 2 * time.Hour}},
+	}
+	plan, err := p.Design(reqs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	t := report.Table{
+		Title:   "heterogeneous portfolio design",
+		Columns: []string{"workload", "servers", "technique", "backup", "$/yr", "perf", "downtime"},
+	}
+	for _, s := range plan.Sections {
+		t.AddRow(s.Workload, s.Servers, s.Technique, s.Backup.Name, s.AnnualCost, s.Perf, s.Downtime)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("total %v vs all-MaxPerf %v (%.0f%% saved)",
+		plan.TotalCost, plan.MaxPerfCost, plan.Savings()*100))
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

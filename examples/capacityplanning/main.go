@@ -1,0 +1,59 @@
+// Capacity planning: given a performability SLA (minimum performance
+// during outages, maximum tolerable down time) and a target outage-duration
+// coverage percentile, find the cheapest DG-less backup for each workload —
+// the paper's "can we do away with DGs?" question asked as a planning tool.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	backuppower "backuppower"
+)
+
+const (
+	slaMinPerf     = 0.30            // tolerate 70% degradation during outages
+	slaMaxDowntime = 2 * time.Minute // near-seamless
+	coverage       = 0.90            // plan for the 90th percentile outage
+)
+
+func main() {
+	fw := backuppower.NewFramework(64)
+	dist := backuppower.OutageDurations()
+	target := dist.Quantile(coverage)
+	fmt.Printf("planning for the P%.0f outage: %v (mean %v)\n",
+		coverage*100, target.Round(time.Minute), dist.Mean().Round(time.Minute))
+	fmt.Printf("SLA: perf >= %.2f during outage, downtime <= %v\n\n", slaMinPerf, slaMaxDowntime)
+
+	for _, w := range backuppower.Workloads() {
+		fmt.Printf("%s:\n", w.Name)
+		var best *backuppower.OperatingPoint
+		var bestName string
+		for _, s := range fw.EvaluateTechniques(w, target) {
+			for _, op := range s.Points {
+				op := op
+				if op.Result.Perf < slaMinPerf || op.Result.Downtime > slaMaxDowntime {
+					continue
+				}
+				if best == nil || op.NormCost < best.NormCost {
+					best, bestName = &op, s.Technique
+				}
+			}
+		}
+		if best == nil {
+			fmt.Printf("  no DG-less option meets the SLA for %v outages\n\n", target.Round(time.Minute))
+			continue
+		}
+		fmt.Printf("  cheapest SLA-meeting option: %s (%s)\n", bestName, best.Technique)
+		fmt.Printf("  UPS: %v rated for %v\n", best.Backup.UPS.PowerCapacity, best.Backup.UPS.Runtime.Round(time.Second))
+		fmt.Printf("  cost: %.0f%% of MaxPerf; perf during outage %.2f; downtime %v\n\n",
+			best.NormCost*100, best.Result.Perf, best.Result.Downtime.Round(time.Second))
+	}
+
+	// And the organization-level sanity check: how much yearly outage can
+	// we absorb before dropping the DG stops paying (Figure 10)?
+	if a, err := backuppower.NewTCO(); err == nil {
+		fmt.Printf("TCO cross-over: DG-less is profitable below %v of outage per year\n",
+			a.Crossover().Round(time.Minute))
+	}
+}

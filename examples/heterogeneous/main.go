@@ -1,0 +1,65 @@
+// Heterogeneous provisioning (§7): a datacenter hosting four applications
+// with very different performability requirements gets four differently
+// sized backup sections instead of one MaxPerf monolith.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	backuppower "backuppower"
+)
+
+func main() {
+	p := backuppower.NewPortfolioPlanner(backuppower.NewFramework(40))
+	reqs := []backuppower.PortfolioRequirement{
+		{
+			// Front-end search: must keep answering queries with barely a
+			// blip, even mid-outage.
+			Workload: backuppower.WebSearch(), Servers: 480,
+			SLA: backuppower.PortfolioSLA{
+				Outage: 10 * time.Minute, MinPerf: 0.5, MaxDowntime: 30 * time.Second,
+			},
+		},
+		{
+			// Cache tier: tolerate a brief dip, never a long reload.
+			Workload: backuppower.Memcached(), Servers: 240,
+			SLA: backuppower.PortfolioSLA{
+				Outage: 10 * time.Minute, MinPerf: 0.3, MaxDowntime: 3 * time.Minute,
+			},
+		},
+		{
+			// Transactional middle tier: state must survive, pauses OK.
+			Workload: backuppower.Specjbb(), Servers: 240,
+			SLA: backuppower.PortfolioSLA{
+				Outage: 30 * time.Minute, MaxDowntime: 45 * time.Minute,
+				RequireStateSafety: true,
+			},
+		},
+		{
+			// Batch analytics: cheapest thing that doesn't lose a day.
+			Workload: backuppower.SpecCPU(), Servers: 960,
+			SLA: backuppower.PortfolioSLA{
+				Outage: 30 * time.Minute, MaxDowntime: 3 * time.Hour,
+			},
+		},
+	}
+
+	plan, err := p.Design(reqs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "design failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("heterogeneous backup plan:")
+	fmt.Printf("%-14s %7s  %-26s %-22s %12s  %5s  %9s\n",
+		"workload", "servers", "technique", "backup", "$/yr", "perf", "downtime")
+	for _, s := range plan.Sections {
+		fmt.Printf("%-14s %7d  %-26s %-22s %12.0f  %5.2f  %9v\n",
+			s.Workload, s.Servers, s.Technique, s.Backup.Name,
+			float64(s.AnnualCost), s.Perf, s.Downtime.Round(time.Second))
+	}
+	fmt.Printf("\ntotal: %v  (all-MaxPerf would cost %v — %.0f%% saved)\n",
+		plan.TotalCost, plan.MaxPerfCost, plan.Savings()*100)
+}

@@ -1,0 +1,68 @@
+// Online policy: handle outages of UNKNOWN duration (the Section 7
+// challenge). A year of outages is sampled from the Figure 1 distributions;
+// for each, the adaptive policy starts optimistic and escalates through
+// throttle → consolidate → sleep → hibernate as the Markov predictor's
+// expected-remaining estimate collides with the battery's sustainable time.
+// The predictor learns from every completed outage.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	backuppower "backuppower"
+)
+
+const decisionInterval = 30 * time.Second
+
+func main() {
+	env := backuppower.NewFramework(64).Env
+	w := backuppower.Specjbb()
+	u := backuppower.NewUPS(env.PeakPower(), 20*time.Minute)
+	pol, err := backuppower.NewAdaptivePolicy(env, w, u)
+	if err != nil {
+		panic(err)
+	}
+
+	gen := backuppower.NewOutageGen(2014)
+	pack := u.Pack()
+
+	fmt.Printf("fleet %d servers, UPS %v for %v; deciding every %v\n\n",
+		env.Servers, u.PowerCapacity, u.Runtime, decisionInterval)
+
+	var served, lost time.Duration
+	for year := 1; year <= 3; year++ {
+		for _, ev := range gen.Year() {
+			fmt.Printf("outage (%v):\n", ev.Duration.Round(time.Second))
+			var state backuppower.BatteryState
+			elapsed := time.Duration(0)
+			prev := ""
+			for elapsed < ev.Duration {
+				d := pol.Decide(elapsed, state.Remaining())
+				if d.Mode.String() != prev {
+					fmt.Printf("  t=%-8v -> %-12s (%s)\n",
+						elapsed.Round(time.Second), d.Mode, d.Reason)
+					prev = d.Mode.String()
+				}
+				step := decisionInterval
+				if elapsed+step > ev.Duration {
+					step = ev.Duration - elapsed
+				}
+				load := pol.ModePower(d.Mode)
+				sustained := state.Drain(pack, load, step)
+				if sustained < step {
+					fmt.Printf("  t=%-8v battery EXHAUSTED in %s\n",
+						(elapsed + sustained).Round(time.Second), d.Mode)
+					lost += ev.Duration - elapsed - sustained
+					break
+				}
+				served += time.Duration(float64(step) * pol.ModePerf(d.Mode))
+				elapsed += step
+			}
+			state.Recharge()
+			pol.Reset(ev.Duration)
+		}
+	}
+	fmt.Printf("\n3 years handled: %v of weighted service delivered during outages, %v dark after exhaustion\n",
+		served.Round(time.Second), lost.Round(time.Second))
+}

@@ -1,0 +1,55 @@
+// Quickstart: evaluate a handful of backup configurations for one workload
+// and outage, using only the public backuppower API.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	backuppower "backuppower"
+)
+
+func main() {
+	fw := backuppower.NewFramework(64)
+	peak := fw.Env.PeakPower()
+	w := backuppower.Specjbb()
+	outage := 30 * time.Minute
+
+	fmt.Printf("workload %s, outage %v, datacenter peak %v\n\n", w.Name, outage, peak)
+	fmt.Printf("%-18s %-22s %5s  %5s  %9s\n", "config", "technique", "cost", "perf", "downtime")
+
+	cases := []struct {
+		b    backuppower.Backup
+		tech backuppower.Technique
+	}{
+		{backuppower.MaxPerf(peak), backuppower.Baseline{}},
+		{backuppower.LargeEUPS(peak), backuppower.Baseline{}},
+		{backuppower.LargeEUPS(peak), backuppower.Throttling{PState: 6}},
+		{backuppower.NoDG(peak), backuppower.Sleep{LowPower: true}},
+		{backuppower.NoDG(peak), backuppower.ThrottleThenSave{PState: 6, Save: backuppower.SaveSleep, ActiveFraction: 0.1}},
+		{backuppower.MinCost(peak), backuppower.Baseline{}},
+	}
+	for _, c := range cases {
+		res, err := fw.Evaluate(c.b, c.tech, w, outage)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		status := ""
+		if !res.Survived {
+			status = fmt.Sprintf("  (state lost at %v)", res.CrashedAt.Round(time.Second))
+		}
+		fmt.Printf("%-18s %-22s %5.2f  %5.2f  %9v%s\n",
+			c.b.Name, res.Technique, res.Cost, res.Perf, res.Downtime.Round(time.Second), status)
+	}
+
+	// The headline question: what's the cheapest backup that rides this
+	// outage with zero downtime?
+	fmt.Println("\ncheapest zero-downtime option:")
+	best, ok := fw.MinCostUPS(backuppower.Throttling{PState: 6}, w, outage)
+	if ok {
+		fmt.Printf("  %s behind %v UPS rated %v: %.0f%% of MaxPerf cost, perf %.2f\n",
+			best.Technique, best.Backup.UPS.PowerCapacity, best.Backup.UPS.Runtime,
+			best.NormCost*100, best.Result.Perf)
+	}
+}

@@ -1,0 +1,3 @@
+module backuppower
+
+go 1.22

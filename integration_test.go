@@ -1,0 +1,143 @@
+package backuppower_test
+
+import (
+	"testing"
+	"time"
+
+	backuppower "backuppower"
+	"backuppower/internal/core"
+	"backuppower/internal/experiments"
+	"backuppower/internal/multinode"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// TestEndToEndPipeline exercises the whole stack the way a capacity
+// planner would: sample a year of outages, size a backup for the worst
+// one, verify the sizing against the simulator, check the yearly
+// availability of the result, and confirm the economics against the TCO
+// model.
+func TestEndToEndPipeline(t *testing.T) {
+	fw := backuppower.NewFramework(32)
+	w := backuppower.Specjbb()
+
+	// 1. What's the worst outage in a sampled year?
+	gen := backuppower.NewOutageGen(99)
+	var worst time.Duration
+	for _, ev := range gen.Year() {
+		if ev.Duration > worst {
+			worst = ev.Duration
+		}
+	}
+	if worst == 0 {
+		worst = 30 * time.Minute // quiet year: plan for the P90 anyway
+	}
+
+	// 2. Size the cheapest state-preserving backup for it.
+	op, ok := fw.MinCostUPS(backuppower.ThrottleThenSave{
+		PState: 6, Save: backuppower.SaveSleep, ActiveFraction: 0.1,
+	}, w, worst)
+	if !ok {
+		t.Fatalf("sizing failed for %v", worst)
+	}
+	if !op.Result.Survived {
+		t.Fatal("sized design must survive its design outage")
+	}
+
+	// 3. The sized backup holds up over 10 independent years.
+	p := &backuppower.AvailabilityPlanner{
+		Framework: fw, Workload: w, Backup: op.Backup,
+	}
+	sum, _, err := p.SimulateYears(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanStateLossesYear > 0.5 {
+		t.Errorf("sized design loses state %.2fx/year", sum.MeanStateLossesYear)
+	}
+
+	// 4. The economics close: the design is far cheaper than MaxPerf and
+	// its priced loss is finite.
+	if op.NormCost >= 0.5 {
+		t.Errorf("sized cost = %v, want well under MaxPerf", op.NormCost)
+	}
+	a, err := backuppower.NewTCO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.ProfitableAt(90 * time.Minute) {
+		t.Error("typical yearly outage exposure should be profitable without DGs")
+	}
+}
+
+// TestPolicyAgainstSampledYear drives the adaptive policy through every
+// outage of a sampled year and confirms it never loses state on a
+// reasonably provisioned battery.
+func TestPolicyAgainstSampledYear(t *testing.T) {
+	fw := backuppower.NewFramework(32)
+	w := backuppower.Memcached()
+	u := backuppower.NewUPS(fw.Env.PeakPower(), 20*time.Minute)
+	pol, err := backuppower.NewAdaptivePolicy(fw.Env, w, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := backuppower.NewOutageGen(3)
+	outages := 0
+	for year := 0; year < 3; year++ {
+		for _, ev := range gen.Year() {
+			r, err := core.SimulatePolicy(pol, ev.Duration, 30*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outages++
+			if !r.Survived {
+				t.Errorf("policy lost state on a %v outage (modes %v)", ev.Duration, r.Transitions)
+			}
+		}
+	}
+	if outages == 0 {
+		t.Skip("sampled years had no outages")
+	}
+}
+
+// TestExperimentsAllRun executes every registered experiment end-to-end —
+// the same entry points cmd/experiments and the benchmarks use.
+func TestExperimentsAllRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	for _, e := range experiments.Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb := e.Run()
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if tb.String() == "" {
+				t.Fatalf("%s rendered empty", e.ID)
+			}
+		})
+	}
+}
+
+// TestMultinodeMatchesModel cross-checks the socket-level drill against
+// the analytic migration model: the number of pre-copy rounds the wire
+// protocol carries must match what the memory model predicts.
+func TestMultinodeMatchesModel(t *testing.T) {
+	w := workload.Specjbb()
+	co, err := multinode.NewCoordinator(2, w, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	rep, err := co.RunOutageDrill(54 * units.MiBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analytic model for SPECjbb at this rate converges in ~9-11
+	// rounds (the 10-minute migration); the wire protocol must agree.
+	rounds := rep.Migrations[0].Rounds
+	if rounds < 8 || rounds > 12 {
+		t.Errorf("wire rounds = %d, model predicts ~10", rounds)
+	}
+}

@@ -1,0 +1,204 @@
+// Package availability closes the paper's loop: Figure 1 says how often
+// and how long utility power fails, Figures 5-9 say what each backup
+// configuration and technique delivers during one outage, and Figure 10
+// prices unavailability. This package composes all three into a yearly
+// Monte-Carlo: sample outage traces, handle each outage with the best
+// technique the configuration supports, and report availability (nines),
+// downtime, degraded service, and the revenue consequence — per
+// configuration, so an operator can read off whether dropping the DG pays
+// for their workload.
+package availability
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"backuppower/internal/core"
+	"backuppower/internal/cost"
+	"backuppower/internal/loadprofile"
+	"backuppower/internal/outage"
+	"backuppower/internal/tco"
+	"backuppower/internal/technique"
+	"backuppower/internal/workload"
+)
+
+// Planner runs yearly simulations for one configuration and workload.
+type Planner struct {
+	Framework *core.Framework
+	Workload  workload.Spec
+	Backup    cost.Backup
+
+	// Technique pins the outage response; nil selects the best technique
+	// per outage (the Figure 5 rule), which assumes the operator adapts.
+	Technique technique.Technique
+
+	// Load scales the workload's utilization by when each outage lands
+	// (diurnal/weekly patterns). Nil means the paper's steady near-peak
+	// assumption.
+	Load loadprofile.Profile
+}
+
+// YearStats summarizes one simulated year.
+type YearStats struct {
+	Outages     int
+	OutageTime  time.Duration
+	Downtime    time.Duration
+	Degraded    time.Duration // time served below full performance
+	ServiceLoss time.Duration // downtime + (1-perf)-weighted degraded time
+	StateLosses int           // outages that crashed the fleet
+}
+
+// Summary aggregates the Monte-Carlo.
+type Summary struct {
+	Config   string
+	Years    int
+	NormCost float64
+
+	MeanOutagesPerYear  float64
+	MeanOutageTime      time.Duration
+	MeanDowntime        time.Duration
+	MaxDowntime         time.Duration
+	MeanServiceLoss     time.Duration
+	MeanStateLossesYear float64
+
+	// Availability is 1 - meanDowntime/year; Nines its -log10 complement.
+	Availability float64
+	Nines        float64
+
+	// RevenueLossPerKWYear prices the mean service loss with the Figure 10
+	// rates; DGSavingsPerKWYear is the line it must stay under for a
+	// DG-less configuration to pay off.
+	RevenueLossPerKWYear float64
+	DGSavingsPerKWYear   float64
+}
+
+// Validate checks the planner.
+func (p *Planner) Validate() error {
+	if p.Framework == nil {
+		return fmt.Errorf("availability: nil framework")
+	}
+	if err := p.Workload.Validate(); err != nil {
+		return err
+	}
+	return p.Backup.Validate()
+}
+
+// SimulateYears runs the Monte-Carlo over the given number of years with a
+// deterministic seed.
+func (p *Planner) SimulateYears(years int, seed int64) (Summary, []YearStats, error) {
+	if err := p.Validate(); err != nil {
+		return Summary{}, nil, err
+	}
+	if years < 1 {
+		return Summary{}, nil, fmt.Errorf("availability: %d years", years)
+	}
+	gen := outage.NewGenerator(seed)
+	stats := make([]YearStats, 0, years)
+
+	var sum Summary
+	sum.Config = p.Backup.Name
+	sum.Years = years
+	sum.NormCost = p.Backup.NormalizedCost(p.Framework.Env.PeakPower())
+
+	for y := 0; y < years; y++ {
+		var ys YearStats
+		for _, ev := range gen.Year() {
+			res, err := p.handle(ev)
+			if err != nil {
+				return Summary{}, nil, err
+			}
+			ys.Outages++
+			ys.OutageTime += ev.Duration
+			ys.Downtime += res.Downtime
+			degr := time.Duration(0)
+			if res.Perf < 1 {
+				degr = time.Duration(float64(ev.Duration) * (1 - res.Perf))
+			}
+			ys.Degraded += degr
+			ys.ServiceLoss += res.Downtime + degr
+			if !res.Survived {
+				ys.StateLosses++
+			}
+		}
+		stats = append(stats, ys)
+		sum.MeanOutagesPerYear += float64(ys.Outages)
+		sum.MeanOutageTime += ys.OutageTime
+		sum.MeanDowntime += ys.Downtime
+		sum.MeanServiceLoss += ys.ServiceLoss
+		sum.MeanStateLossesYear += float64(ys.StateLosses)
+		if ys.Downtime > sum.MaxDowntime {
+			sum.MaxDowntime = ys.Downtime
+		}
+	}
+	n := float64(years)
+	sum.MeanOutagesPerYear /= n
+	sum.MeanOutageTime = time.Duration(float64(sum.MeanOutageTime) / n)
+	sum.MeanDowntime = time.Duration(float64(sum.MeanDowntime) / n)
+	sum.MeanServiceLoss = time.Duration(float64(sum.MeanServiceLoss) / n)
+	sum.MeanStateLossesYear /= n
+
+	const year = 365 * 24 * time.Hour
+	sum.Availability = 1 - float64(sum.MeanDowntime)/float64(year)
+	sum.Nines = nines(sum.Availability)
+
+	if a, err := tco.NewAnalysis(tco.DefaultGoogle2011(), 83.3); err == nil {
+		sum.RevenueLossPerKWYear = a.OutageCostPerKWYear(sum.MeanServiceLoss)
+		sum.DGSavingsPerKWYear = a.DGSavingsPerKWYear
+	}
+	return sum, stats, nil
+}
+
+// handle evaluates one outage, at the utilization the load profile says
+// the datacenter was running when it struck.
+func (p *Planner) handle(ev outage.Event) (res coreResult, err error) {
+	w := p.Workload
+	if p.Load != nil {
+		w.Utilization = loadprofile.Scale(p.Load, ev.Start, w.Utilization)
+	}
+	if p.Technique != nil {
+		r, e := p.Framework.Evaluate(p.Backup, p.Technique, w, ev.Duration)
+		return coreResult{r.Downtime, r.Perf, r.Survived}, e
+	}
+	r, _ := p.Framework.BestForConfig(p.Backup, w, ev.Duration)
+	return coreResult{r.Downtime, r.Perf, r.Survived}, nil
+}
+
+// coreResult is the slice of cluster.Result the planner consumes.
+type coreResult struct {
+	Downtime time.Duration
+	Perf     float64
+	Survived bool
+}
+
+// nines converts availability to the conventional "number of nines"
+// (-log10 of the unavailability), capped at 9 for a downtime-free horizon.
+func nines(avail float64) float64 {
+	if avail >= 1 {
+		return 9
+	}
+	if avail <= 0 {
+		return 0
+	}
+	n := -math.Log10(1 - avail)
+	if n > 9 {
+		n = 9
+	}
+	return n
+}
+
+// CompareConfigs runs the planner across a set of configurations with a
+// shared trace seed, returning summaries in input order — the operator's
+// decision table.
+func CompareConfigs(fw *core.Framework, w workload.Spec, configs []cost.Backup, years int, seed int64) ([]Summary, error) {
+	out := make([]Summary, 0, len(configs))
+	for _, b := range configs {
+		p := &Planner{Framework: fw, Workload: w, Backup: b}
+		s, _, err := p.SimulateYears(years, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package battery
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"backuppower/internal/units"
+)
+
+// This file models the cell-level composition behind the pack abstraction —
+// the mechanics of the Ragone-plot observation in Section 3: "while
+// composing the battery cells to achieve a certain amount of battery power,
+// we would automatically get some amount of inherent base battery energy
+// capacity for free". A bank built from enough cells to source a power
+// rating (C-rate and voltage-sag limited) necessarily embeds energy; that
+// embedded energy IS the FreeRunTime of the pack model.
+
+// Cell is a single electrochemical unit.
+type Cell struct {
+	Chemistry string
+	// NominalVoltage and CapacityAh define the cell's nominal energy.
+	NominalVoltage float64
+	CapacityAh     float64
+	// InternalResistance causes voltage sag under load and bounds the
+	// usable discharge current together with MaxCRate.
+	InternalResistance float64 // ohms
+	// MaxCRate is the maximum continuous discharge in multiples of the
+	// one-hour capacity current.
+	MaxCRate float64
+	// Peukert is the chemistry's discharge nonlinearity exponent.
+	Peukert float64
+	// Cost is the procurement cost per cell.
+	Cost float64
+}
+
+// VRLABlock is a 12 V 9 Ah valve-regulated lead-acid brick, the building
+// block of rack UPS trays (APC RBC class).
+func VRLABlock() Cell {
+	return Cell{
+		Chemistry:          "lead-acid",
+		NominalVoltage:     12,
+		CapacityAh:         9,
+		InternalResistance: 0.025,
+		MaxCRate:           4,
+		Peukert:            LeadAcid().PeukertExponent,
+		Cost:               30,
+	}
+}
+
+// LiIon18650 is a 3.6 V 2.5 Ah cylindrical Li-ion cell.
+func LiIon18650() Cell {
+	return Cell{
+		Chemistry:          "li-ion",
+		NominalVoltage:     3.6,
+		CapacityAh:         2.5,
+		InternalResistance: 0.035,
+		MaxCRate:           3,
+		Peukert:            LiIon().PeukertExponent,
+		Cost:               4,
+	}
+}
+
+// Validate checks the cell parameters.
+func (c Cell) Validate() error {
+	switch {
+	case c.NominalVoltage <= 0 || c.CapacityAh <= 0:
+		return fmt.Errorf("battery: cell %s has non-positive ratings", c.Chemistry)
+	case c.InternalResistance < 0:
+		return fmt.Errorf("battery: cell %s negative resistance", c.Chemistry)
+	case c.MaxCRate <= 0:
+		return fmt.Errorf("battery: cell %s non-positive C-rate", c.Chemistry)
+	case c.Peukert < 1:
+		return fmt.Errorf("battery: cell %s Peukert < 1", c.Chemistry)
+	}
+	return nil
+}
+
+// EnergyWh is the cell's nominal energy.
+func (c Cell) EnergyWh() float64 { return c.NominalVoltage * c.CapacityAh }
+
+// Bank is a series-parallel arrangement of identical cells.
+type Bank struct {
+	Cell     Cell
+	Series   int // cells per string (sets bus voltage)
+	Parallel int // strings (sets current / capacity)
+}
+
+// Validate checks the arrangement.
+func (b Bank) Validate() error {
+	if err := b.Cell.Validate(); err != nil {
+		return err
+	}
+	if b.Series < 1 || b.Parallel < 1 {
+		return fmt.Errorf("battery: bank %dS%dP invalid", b.Series, b.Parallel)
+	}
+	return nil
+}
+
+// Cells is the total cell count.
+func (b Bank) Cells() int { return b.Series * b.Parallel }
+
+// Voltage is the nominal bus voltage.
+func (b Bank) Voltage() float64 { return b.Cell.NominalVoltage * float64(b.Series) }
+
+// CapacityAh is the bank's nominal capacity.
+func (b Bank) CapacityAh() float64 { return b.Cell.CapacityAh * float64(b.Parallel) }
+
+// EnergyWh is the bank's nominal energy.
+func (b Bank) EnergyWh() float64 { return b.Cell.EnergyWh() * float64(b.Cells()) }
+
+// InternalResistance is the bank's equivalent series resistance.
+func (b Bank) InternalResistance() float64 {
+	return b.Cell.InternalResistance * float64(b.Series) / float64(b.Parallel)
+}
+
+// MaxPower is the continuous power the bank can deliver, limited by the
+// chemistry's C-rate and derated by the resistive sag at that current.
+func (b Bank) MaxPower() units.Watts {
+	i := b.CapacityAh() * b.Cell.MaxCRate // amps
+	v := b.Voltage() - i*b.InternalResistance()
+	if v < 0 {
+		v = 0
+	}
+	return units.Watts(v * i)
+}
+
+// SagFraction is the relative voltage drop when delivering the given load.
+func (b Bank) SagFraction(load units.Watts) float64 {
+	v := b.Voltage()
+	if v <= 0 || load <= 0 {
+		return 0
+	}
+	i := float64(load) / v // first-order current estimate
+	return i * b.InternalResistance() / v
+}
+
+// Efficiency is the fraction of chemical energy delivered to the bus at
+// the given load (the rest heats the cells).
+func (b Bank) Efficiency(load units.Watts) float64 {
+	return units.Clamp01(1 - b.SagFraction(load))
+}
+
+// Cost is the bank's cell procurement cost.
+func (b Bank) Cost() float64 { return float64(b.Cells()) * b.Cell.Cost }
+
+// Pack converts the bank into the framework's pack abstraction: the rated
+// power is the bank's C-rate-limited max, and the rated runtime is the
+// efficiency-derated nominal energy delivered at that power.
+func (b Bank) Pack() Pack {
+	tech := LeadAcid()
+	if b.Cell.Chemistry == "li-ion" {
+		tech = LiIon()
+	}
+	tech.PeukertExponent = b.Cell.Peukert
+	power := b.MaxPower()
+	if power <= 0 {
+		return Pack{Tech: tech}
+	}
+	usable := b.EnergyWh() * b.Efficiency(power)
+	runtime := units.WattHours(usable).AtPower(power)
+	return Pack{Tech: tech, RatedPower: power, RatedRuntime: runtime}
+}
+
+// Compose builds the smallest bank of the given cell meeting a power and
+// runtime requirement on a target bus voltage. It returns an error when the
+// cell cannot reach the bus voltage. This is the constructive version of
+// the Ragone argument: the parallel count needed for power alone already
+// carries FreeRuntime()'s worth of energy.
+func Compose(cell Cell, busVoltage float64, power units.Watts, runtime time.Duration) (Bank, error) {
+	if err := cell.Validate(); err != nil {
+		return Bank{}, err
+	}
+	if busVoltage < cell.NominalVoltage {
+		return Bank{}, fmt.Errorf("battery: bus %v V below cell voltage %v V", busVoltage, cell.NominalVoltage)
+	}
+	if power <= 0 || runtime <= 0 {
+		return Bank{}, fmt.Errorf("battery: non-positive requirement %v / %v", power, runtime)
+	}
+	series := int(math.Ceil(busVoltage / cell.NominalVoltage))
+
+	// Strings needed for power: current at the bus / per-string C-limit.
+	v := cell.NominalVoltage * float64(series)
+	perStringI := cell.CapacityAh * cell.MaxCRate
+	forPower := int(math.Ceil(float64(power) / (v * perStringI)))
+
+	// Strings needed for energy at the requested (power, runtime) point,
+	// accounting for the Peukert penalty of running above the 1-hour
+	// rate. Iterate: the parallel count changes the per-string load.
+	parallel := forPower
+	for iter := 0; iter < 32; iter++ {
+		b := Bank{Cell: cell, Series: series, Parallel: parallel}
+		if b.deliverable(power) >= runtime {
+			break
+		}
+		parallel++
+	}
+	b := Bank{Cell: cell, Series: series, Parallel: parallel}
+	if b.deliverable(power) < runtime {
+		// Close the remaining gap directly from the energy ratio.
+		need := float64(runtime) / float64(b.deliverable(power))
+		parallel = int(math.Ceil(float64(parallel) * need))
+		b = Bank{Cell: cell, Series: series, Parallel: parallel}
+	}
+	if b.MaxPower() < power {
+		return Bank{}, fmt.Errorf("battery: composed bank %dS%dP cannot source %v", series, parallel, power)
+	}
+	return b, nil
+}
+
+// deliverable is how long the bank sustains the load, with Peukert stretch
+// relative to the C-rate-limited maximum and resistive derating.
+func (b Bank) deliverable(load units.Watts) time.Duration {
+	p := b.Pack()
+	return p.RuntimeAt(load)
+}
+
+// FreeRuntime is the runtime the bank delivers at its own maximum power —
+// the energy that came along for free with the power rating.
+func (b Bank) FreeRuntime() time.Duration {
+	return b.deliverable(b.MaxPower())
+}

@@ -1,0 +1,195 @@
+package battery
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/units"
+)
+
+func TestCellDefaultsValid(t *testing.T) {
+	if err := VRLABlock().Validate(); err != nil {
+		t.Errorf("VRLA invalid: %v", err)
+	}
+	if err := LiIon18650().Validate(); err != nil {
+		t.Errorf("18650 invalid: %v", err)
+	}
+	// 12V 9Ah = 108 Wh.
+	if got := VRLABlock().EnergyWh(); got != 108 {
+		t.Errorf("VRLA energy = %v", got)
+	}
+}
+
+func TestCellValidateErrors(t *testing.T) {
+	mutate := []func(*Cell){
+		func(c *Cell) { c.NominalVoltage = 0 },
+		func(c *Cell) { c.CapacityAh = 0 },
+		func(c *Cell) { c.InternalResistance = -1 },
+		func(c *Cell) { c.MaxCRate = 0 },
+		func(c *Cell) { c.Peukert = 0.5 },
+	}
+	for i, m := range mutate {
+		c := VRLABlock()
+		m(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestBankArithmetic(t *testing.T) {
+	b := Bank{Cell: VRLABlock(), Series: 16, Parallel: 4}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("bank invalid: %v", err)
+	}
+	if got := b.Voltage(); got != 192 {
+		t.Errorf("voltage = %v", got)
+	}
+	if got := b.CapacityAh(); got != 36 {
+		t.Errorf("capacity = %v", got)
+	}
+	if got := b.EnergyWh(); got != 108*64 {
+		t.Errorf("energy = %v", got)
+	}
+	if got := b.Cells(); got != 64 {
+		t.Errorf("cells = %v", got)
+	}
+	// Series raises resistance, parallel lowers it.
+	if got := b.InternalResistance(); !units.AlmostEqual(got, 0.025*16/4, 1e-9) {
+		t.Errorf("resistance = %v", got)
+	}
+	if b.Cost() != 64*30 {
+		t.Errorf("cost = %v", b.Cost())
+	}
+}
+
+func TestBankMaxPowerSagDerated(t *testing.T) {
+	b := Bank{Cell: VRLABlock(), Series: 16, Parallel: 4}
+	naive := b.Voltage() * b.CapacityAh() * b.Cell.MaxCRate
+	max := float64(b.MaxPower())
+	if max >= naive {
+		t.Errorf("max power %v should be sag-derated below %v", max, naive)
+	}
+	if max < 0.7*naive {
+		t.Errorf("max power %v unreasonably low vs %v", max, naive)
+	}
+}
+
+func TestEfficiencyDropsWithLoad(t *testing.T) {
+	b := Bank{Cell: VRLABlock(), Series: 16, Parallel: 4}
+	light := b.Efficiency(b.MaxPower() / 10)
+	heavy := b.Efficiency(b.MaxPower())
+	if light <= heavy {
+		t.Errorf("efficiency should drop with load: %v vs %v", light, heavy)
+	}
+	if heavy < 0.7 || light > 1 {
+		t.Errorf("efficiencies out of range: %v %v", light, heavy)
+	}
+	if got := b.Efficiency(0); got != 1 {
+		t.Errorf("no-load efficiency = %v", got)
+	}
+}
+
+func TestComposeMeetsRequirement(t *testing.T) {
+	// The Figure 3 pack: 4 KW for 10 minutes on a 192 V bus.
+	b, err := Compose(VRLABlock(), 192, 4*units.Kilowatt, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	if b.MaxPower() < 4*units.Kilowatt {
+		t.Errorf("bank max %v below requirement", b.MaxPower())
+	}
+	if got := b.deliverable(4 * units.Kilowatt); got < 10*time.Minute {
+		t.Errorf("deliverable %v below 10m", got)
+	}
+	// The power requirement alone forces a bank whose embedded energy
+	// already exceeds 10 minutes (the Ragone effect): the composer must
+	// not add strings beyond the power-driven minimum.
+	if b.Parallel != 1 {
+		t.Errorf("parallel = %d, want the power-driven minimum", b.Parallel)
+	}
+}
+
+func TestComposeRagoneFreeEnergy(t *testing.T) {
+	// Compose for POWER with a token runtime: the resulting bank still
+	// carries minutes of energy — the paper's "free" base capacity.
+	b, err := Compose(VRLABlock(), 192, 8*units.Kilowatt, time.Second)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	free := b.FreeRuntime()
+	if free < time.Minute {
+		t.Errorf("free runtime = %v, want minutes (Ragone)", free)
+	}
+	if free > 20*time.Minute {
+		t.Errorf("free runtime = %v, suspiciously large", free)
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	if _, err := Compose(VRLABlock(), 6, units.Kilowatt, time.Minute); err == nil {
+		t.Error("bus below cell voltage should fail")
+	}
+	if _, err := Compose(VRLABlock(), 192, 0, time.Minute); err == nil {
+		t.Error("zero power should fail")
+	}
+	if _, err := Compose(VRLABlock(), 192, units.Kilowatt, 0); err == nil {
+		t.Error("zero runtime should fail")
+	}
+	bad := VRLABlock()
+	bad.MaxCRate = 0
+	if _, err := Compose(bad, 192, units.Kilowatt, time.Minute); err == nil {
+		t.Error("invalid cell should fail")
+	}
+}
+
+func TestComposeLongRuntimeScalesParallel(t *testing.T) {
+	short, err := Compose(VRLABlock(), 192, 4*units.Kilowatt, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Compose(VRLABlock(), 192, 4*units.Kilowatt, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Parallel <= short.Parallel {
+		t.Errorf("hour-long bank %dP should exceed %dP", long.Parallel, short.Parallel)
+	}
+	if long.Cost() <= short.Cost() {
+		t.Error("more runtime must cost more")
+	}
+}
+
+func TestBankPackRoundTrip(t *testing.T) {
+	b, err := Compose(LiIon18650(), 48, 2*units.Kilowatt, 20*time.Minute)
+	if err != nil {
+		t.Fatalf("Compose li-ion: %v", err)
+	}
+	p := b.Pack()
+	if p.Tech.Name != "li-ion" {
+		t.Errorf("pack tech = %s", p.Tech.Name)
+	}
+	if p.RatedPower != b.MaxPower() {
+		t.Errorf("pack power %v != bank max %v", p.RatedPower, b.MaxPower())
+	}
+	if p.RuntimeAt(2*units.Kilowatt) < 20*time.Minute {
+		t.Errorf("pack runtime %v below composed requirement", p.RuntimeAt(2*units.Kilowatt))
+	}
+	// Degenerate bank yields an empty pack.
+	z := Bank{Cell: VRLABlock(), Series: 1, Parallel: 1}
+	z.Cell.MaxCRate = 0.000001
+	if z.Pack().RatedPower > 1 {
+		t.Errorf("near-zero bank pack = %+v", z.Pack())
+	}
+}
+
+func TestBankValidateErrors(t *testing.T) {
+	b := Bank{Cell: VRLABlock(), Series: 0, Parallel: 1}
+	if b.Validate() == nil {
+		t.Error("zero series should fail")
+	}
+	b = Bank{Cell: VRLABlock(), Series: 1, Parallel: 0}
+	if b.Validate() == nil {
+		t.Error("zero parallel should fail")
+	}
+}

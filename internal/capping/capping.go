@@ -1,0 +1,172 @@
+// Package capping implements server power capping: selecting the active
+// power state (DVFS P-state plus clock-throttling T-state) that maximizes
+// performance under a power budget, and a feedback governor that tracks a
+// budget against noisy measurements (the RAPL-style mechanism the paper's
+// introduction assumes: "power capping mechanisms are then employed to
+// ensure safety when this limit is reached").
+//
+// The underprovisioning connection: a half-power UPS is exactly a power
+// budget, and the best response to it is whatever (P,T) pair this package
+// picks — which is how the framework decides what service level a capped
+// configuration can offer.
+package capping
+
+import (
+	"fmt"
+	"sort"
+
+	"backuppower/internal/server"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// Setting is one operating point of the capping space.
+type Setting struct {
+	PState int
+	TState int
+	Power  units.Watts // per-server draw at the workload's utilization
+	Speed  float64     // effective clock speed (freq × duty)
+}
+
+// String formats the setting.
+func (s Setting) String() string {
+	if s.TState > 0 {
+		return fmt.Sprintf("P%d/T%d", s.PState, s.TState)
+	}
+	return fmt.Sprintf("P%d", s.PState)
+}
+
+// Space enumerates every (P,T) pair for a server and utilization, sorted by
+// descending speed (and descending power within equal speed).
+func Space(cfg server.Config, util float64) []Setting {
+	var out []Setting
+	for pi, p := range cfg.PStates {
+		for ti := 0; ti < cfg.TStates; ti++ {
+			duty := cfg.TStateDuty(ti)
+			out = append(out, Setting{
+				PState: pi,
+				TState: ti,
+				Power:  cfg.ActivePower(util, p, duty),
+				Speed:  p.FreqRatio * duty,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Speed != out[j].Speed {
+			return out[i].Speed > out[j].Speed
+		}
+		// Cheapest first within a speed tie (P/T combinations can land on
+		// identical effective speeds with different power).
+		return out[i].Power < out[j].Power
+	})
+	return out
+}
+
+// Frontier returns the Pareto-optimal settings (no other setting is at
+// least as fast for less power), sorted by strictly descending speed and
+// power.
+func Frontier(cfg server.Config, util float64) []Setting {
+	space := Space(cfg, util)
+	var out []Setting
+	best := units.Watts(1 << 62)
+	lastSpeed := -1.0
+	for _, s := range space {
+		if s.Speed == lastSpeed {
+			continue // the cheaper same-speed entry already won
+		}
+		lastSpeed = s.Speed
+		if s.Power < best {
+			out = append(out, s)
+			best = s.Power
+		}
+	}
+	return out
+}
+
+// Best returns the highest-speed setting whose per-server power fits the
+// budget. ok is false when even the deepest setting exceeds it (the budget
+// is below the throttling floor — idle power plus residual dynamic power —
+// and only save-state techniques can help).
+func Best(cfg server.Config, util float64, budget units.Watts) (Setting, bool) {
+	var best Setting
+	found := false
+	for _, s := range Frontier(cfg, util) {
+		if s.Power <= budget {
+			// Frontier is sorted by descending speed: first fit wins.
+			return s, true
+		}
+		best = s
+	}
+	_ = best
+	return Setting{}, found
+}
+
+// PerfUnderBudget returns the workload throughput achievable per server
+// under the budget, and the setting that achieves it.
+func PerfUnderBudget(cfg server.Config, w workload.Spec, budget units.Watts) (float64, Setting, bool) {
+	s, ok := Best(cfg, w.Utilization, budget)
+	if !ok {
+		return 0, Setting{}, false
+	}
+	return w.PerfAtSpeed(s.Speed), s, true
+}
+
+// Floor returns the lowest per-server active power any setting reaches —
+// the boundary between "throttle harder" and "must stop executing".
+func Floor(cfg server.Config, util float64) units.Watts {
+	f := Frontier(cfg, util)
+	return f[len(f)-1].Power
+}
+
+// Governor is a feedback power-cap controller: it walks the Pareto frontier
+// one step at a time based on measured power, mimicking firmware capping
+// loops. It never oscillates more than one step per observation and honors
+// a guard band below the budget.
+type Governor struct {
+	frontier []Setting
+	budget   units.Watts
+	guard    float64 // fraction of budget to leave as headroom
+	idx      int     // current frontier index (0 = fastest)
+}
+
+// NewGovernor builds a governor for the server/utilization with a budget
+// and a guard band (e.g. 0.03 keeps 3% headroom).
+func NewGovernor(cfg server.Config, util float64, budget units.Watts, guard float64) (*Governor, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("capping: non-positive budget %v", budget)
+	}
+	if guard < 0 || guard >= 1 {
+		return nil, fmt.Errorf("capping: guard %v out of [0,1)", guard)
+	}
+	f := Frontier(cfg, util)
+	if f[len(f)-1].Power > budget {
+		return nil, fmt.Errorf("capping: budget %v below throttling floor %v", budget, f[len(f)-1].Power)
+	}
+	g := &Governor{frontier: f, budget: budget, guard: guard}
+	// Start at the deepest safe setting; observations will relax upward.
+	g.idx = len(f) - 1
+	return g, nil
+}
+
+// Setting returns the current operating point.
+func (g *Governor) Setting() Setting { return g.frontier[g.idx] }
+
+// Target is the effective cap after the guard band.
+func (g *Governor) Target() units.Watts {
+	return units.Watts(float64(g.budget) * (1 - g.guard))
+}
+
+// Observe feeds a measured per-server power and returns the (possibly
+// updated) setting: step down when over target, step up when the next
+// faster setting would still fit.
+func (g *Governor) Observe(measured units.Watts) Setting {
+	target := g.Target()
+	switch {
+	case measured > target && g.idx < len(g.frontier)-1:
+		g.idx++
+	case g.idx > 0 && g.frontier[g.idx-1].Power <= target:
+		// Relax one step only if the model says the faster point fits.
+		g.idx--
+	}
+	return g.frontier[g.idx]
+}

@@ -1,0 +1,26 @@
+package capping_test
+
+import (
+	"fmt"
+
+	"backuppower/internal/capping"
+	"backuppower/internal/server"
+	"backuppower/internal/workload"
+)
+
+// A half-power UPS is a 125 W per-server budget; the controller picks the
+// fastest P/T setting that fits and the workload model says what
+// throughput survives.
+func ExamplePerfUnderBudget() {
+	cfg := server.DefaultConfig()
+	w := workload.Memcached()
+	perf, setting, ok := capping.PerfUnderBudget(cfg, w, 125)
+	if !ok {
+		fmt.Println("budget below the throttling floor")
+		return
+	}
+	fmt.Printf("setting %s draws %v, memcached keeps %.0f%% throughput\n",
+		setting, setting.Power, perf*100)
+	// Output:
+	// setting P4/T3 draws 120.7 W, memcached keeps 57% throughput
+}

@@ -1,0 +1,290 @@
+// Package cluster executes an outage scenario: a technique's plan running
+// on a datacenter behind a provisioned backup infrastructure (DG + UPS),
+// producing the paper's three evaluation metrics — cost comes from the
+// config, performance and down time come from this simulation.
+//
+// The simulation is an exact piecewise sweep: within each segment
+// (delimited by plan phase boundaries, DG transfer steps, and the outage
+// end) the load and the DG supply fraction are constant, so UPS battery
+// depletion integrates analytically (with Peukert nonlinearity handled by
+// the battery model's fractional-depletion state).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/cost"
+	"backuppower/internal/simkit"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/ups"
+	"backuppower/internal/workload"
+)
+
+// Scenario is one evaluation point.
+type Scenario struct {
+	Env       technique.Env
+	Workload  workload.Spec
+	Backup    cost.Backup
+	Technique technique.Technique
+	Outage    time.Duration
+}
+
+// Validate checks the scenario.
+func (s Scenario) Validate() error {
+	if err := s.Env.Validate(); err != nil {
+		return err
+	}
+	if err := s.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := s.Backup.Validate(); err != nil {
+		return err
+	}
+	if s.Technique == nil {
+		return fmt.Errorf("cluster: nil technique")
+	}
+	if s.Outage <= 0 {
+		return fmt.Errorf("cluster: non-positive outage %v", s.Outage)
+	}
+	return nil
+}
+
+// Result is the outcome of a scenario.
+type Result struct {
+	Technique string
+	Config    string
+	Workload  string
+	Outage    time.Duration
+
+	// Survived reports that volatile state was never lost.
+	Survived bool
+	// CrashedAt is when state was lost (valid when !Survived).
+	CrashedAt time.Duration
+
+	// Perf is the mean normalized performance over the outage window
+	// [0, Outage], the paper's common reporting duration.
+	Perf float64
+
+	// Downtime is the total time the application was unavailable from
+	// outage start until fully restored (midpoint of Min/Max, which
+	// differ only through HPC recompute spread).
+	Downtime, DowntimeMin, DowntimeMax time.Duration
+
+	// PeakUPSDraw and UPSEnergy summarize what the UPS actually supplied;
+	// PeakBackupDraw includes the DG share.
+	PeakUPSDraw    units.Watts
+	PeakBackupDraw units.Watts
+	UPSEnergy      units.WattHours
+	UPSRemaining   float64
+
+	// Cost is the configuration's normalized annual cap-ex (MaxPerf = 1).
+	Cost float64
+
+	// PerfTrace and PowerTrace record the timelines for reporting.
+	PerfTrace  *simkit.Trace
+	PowerTrace *simkit.Trace
+}
+
+// Simulate runs the scenario.
+func Simulate(s Scenario) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	plan := s.Technique.Plan(s.Env, s.Workload, s.Outage)
+	if err := plan.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Technique: plan.Technique,
+		Config:    s.Backup.Name,
+		Workload:  s.Workload.Name,
+		Outage:    s.Outage,
+		Cost:      s.Backup.NormalizedCost(s.Env.PeakPower()),
+		Survived:  true,
+	}
+
+	T := s.Outage
+	normal := s.Env.NormalPower(s.Workload)
+	dg := s.Backup.DG
+	unit := ups.NewUnit(s.Backup.UPS)
+
+	// If the DG can carry the full normal load, it ends the outage
+	// pressure early: the datacenter returns to full service once the
+	// transfer completes (the paper's "DG translates long outages into
+	// short ones").
+	dgEndsOutage := dg.Provisioned() && dg.CanCarry(normal)
+	effEnd := T
+	if dgEndsOutage && dg.TransferCompleteAt() < T {
+		effEnd = dg.TransferCompleteAt()
+	}
+
+	perfTrace := simkit.NewTrace("perf", 0)
+	powerTrace := simkit.NewTrace("backup-load", 0)
+	res.PerfTrace, res.PowerTrace = perfTrace, powerTrace
+
+	segs := Segments(s.Env, s.Workload, plan, dg, effEnd)
+
+	var (
+		crashed        bool
+		crashAt        time.Duration
+		darkSafe       bool          // powered down with state already safe
+		unavail        time.Duration // unavailable time accumulated in [0, end of plan pressure)
+		lastEnd        time.Duration
+		fixedPhasesEnd time.Duration
+	)
+	for _, ph := range plan.Phases {
+		if !ph.OpenEnded {
+			fixedPhasesEnd += ph.Dur
+		}
+	}
+
+	for _, seg := range segs {
+		if crashed || darkSafe {
+			break
+		}
+		dur := seg.End - seg.Start
+		if dur <= 0 {
+			continue
+		}
+		perfTrace.Set(seg.Start, seg.Perf)
+		powerTrace.Set(seg.Start, float64(seg.Load))
+
+		if seg.UPSNeed > 0 {
+			if !unit.Config.CanCarry(seg.UPSNeed) {
+				// Power capping violated: the backup cannot source this
+				// phase at all.
+				crashed, crashAt = !seg.StateSafe, seg.Start
+				if seg.StateSafe {
+					darkSafe = true
+				}
+				if seg.Start > lastEnd {
+					lastEnd = seg.Start
+				}
+				break
+			}
+			if seg.UPSNeed > res.PeakUPSDraw {
+				res.PeakUPSDraw = seg.UPSNeed
+			}
+			sustained := unit.Drain(seg.UPSNeed, dur)
+			res.UPSEnergy += seg.UPSNeed.ForDuration(sustained)
+			if sustained < dur {
+				at := seg.Start + sustained
+				if seg.StateSafe {
+					darkSafe = true
+				} else {
+					crashed, crashAt = true, at
+				}
+				if !seg.Available {
+					unavail += at - seg.Start
+				}
+				lastEnd = at
+				break
+			}
+		}
+		if seg.Load > res.PeakBackupDraw {
+			res.PeakBackupDraw = seg.Load
+		}
+		if !seg.Available {
+			unavail += dur
+		}
+		lastEnd = seg.End
+	}
+	res.UPSRemaining = unit.Remaining()
+
+	recoveryLo, recoveryHi := technique.CrashRecovery(s.Env, s.Workload)
+
+	switch {
+	case crashed:
+		res.Survived = false
+		res.CrashedAt = crashAt
+		// Power returns at the outage end, or earlier on the DG if it can
+		// carry the datacenter.
+		powerBack := T
+		if dgEndsOutage {
+			ready := dg.TransferCompleteAt()
+			if ready < crashAt {
+				ready = crashAt
+			}
+			if ready < powerBack {
+				powerBack = ready
+			}
+		}
+		perfTrace.Set(crashAt, 0)
+		// Unavailable from crash until power back plus recovery.
+		dt := unavail + (powerBack - crashAt)
+		res.DowntimeMin = dt + recoveryLo
+		res.DowntimeMax = dt + recoveryHi
+		// If recovery finishes inside the outage window (DG restored
+		// power early), performance returns before T.
+		if back := powerBack + (recoveryLo+recoveryHi)/2; back < T {
+			perfTrace.Set(back, 1)
+		}
+
+	case darkSafe:
+		// State persisted; servers dark until power returns, then the
+		// plan's restore path runs.
+		perfTrace.Set(lastEnd, 0)
+		dt := unavail + (effEnd - lastEnd) + plan.RestoreDowntime
+		res.DowntimeMin, res.DowntimeMax = dt, dt
+
+	default:
+		// Plan ran to the end of the outage pressure. Fixed phases that
+		// outlast the outage complete on restored power before the
+		// restore path runs: an in-progress hibernate save keeps the
+		// application down (charged as tail downtime), whereas an
+		// in-progress migration keeps serving (no charge).
+		tail := unavailableTail(plan, effEnd, fixedPhasesEnd)
+		restore := plan.RestoreDowntime
+		if plan.RestoreAfterPowerLossOnly {
+			restore = 0 // the servers never went dark
+		}
+		dt := unavail + tail + restore
+		res.DowntimeMin, res.DowntimeMax = dt, dt
+		// DG-carried full restoration within the outage window shows up
+		// as restored performance after the restore downtime.
+		if effEnd < T {
+			back := effEnd + tail + restore
+			if back < T {
+				perfTrace.Set(back, 1)
+			}
+		}
+	}
+	res.Downtime = (res.DowntimeMin + res.DowntimeMax) / 2
+
+	perfTrace.Set(T, perfTrace.At(T)) // ensure the trace reaches T
+	res.Perf = perfTrace.Mean(0, T)
+	return res, nil
+}
+
+// unavailableTail sums the unavailable portions of fixed plan phases that
+// fall in [from, to) — the post-outage completion of save work.
+func unavailableTail(plan technique.Plan, from, to time.Duration) time.Duration {
+	if to <= from {
+		return 0
+	}
+	var tail time.Duration
+	var at time.Duration
+	for _, ph := range plan.Phases {
+		if ph.OpenEnded {
+			break
+		}
+		start, end := at, at+ph.Dur
+		at = end
+		if end <= from || start >= to {
+			continue
+		}
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		if !ph.Available {
+			tail += end - start
+		}
+	}
+	return tail
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"backuppower/internal/genset"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// Segment is an interval of the outage during which the plan's load, the
+// DG supply fraction, and hence the UPS draw are all constant.
+type Segment struct {
+	Start, End time.Duration
+	Load       units.Watts // total demand placed on the backup
+	DGSupply   units.Watts // carried by the diesel generator
+	UPSNeed    units.Watts // remainder the UPS must source
+	Perf       float64
+	Available  bool
+	StateSafe  bool
+}
+
+// Segments flattens a plan against a DG config over [0, horizon): the
+// interval boundaries are the plan's phase transitions and the DG's
+// transfer steps. The returned segments tile [0, horizon) exactly.
+func Segments(env technique.Env, w workload.Spec, plan technique.Plan, dg genset.Config, horizon time.Duration) []Segment {
+	if horizon <= 0 {
+		return nil
+	}
+	cuts := map[time.Duration]bool{0: true, horizon: true}
+	var at time.Duration
+	for _, ph := range plan.Phases {
+		if ph.OpenEnded {
+			break
+		}
+		at += ph.Dur
+		if at < horizon {
+			cuts[at] = true
+		}
+	}
+	for _, t := range dg.StepTimes() {
+		if t > 0 && t < horizon {
+			cuts[t] = true
+		}
+	}
+	times := make([]time.Duration, 0, len(cuts))
+	for t := range cuts {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	segs := make([]Segment, 0, len(times)-1)
+	for i := 0; i+1 < len(times); i++ {
+		start, end := times[i], times[i+1]
+		ph := phaseAt(plan, start)
+		frac := dg.SuppliedFraction(start)
+		dgSupply := units.Watts(frac) * dg.PowerCapacity
+		if dgSupply > ph.Power {
+			dgSupply = ph.Power
+		}
+		segs = append(segs, Segment{
+			Start:     start,
+			End:       end,
+			Load:      ph.Power,
+			DGSupply:  dgSupply,
+			UPSNeed:   ph.Power - dgSupply,
+			Perf:      ph.Perf,
+			Available: ph.Available,
+			StateSafe: ph.StateSafe,
+		})
+	}
+	return segs
+}
+
+// phaseAt returns the phase in effect at time t (the open-ended phase for
+// anything past the fixed schedule).
+func phaseAt(plan technique.Plan, t time.Duration) technique.Phase {
+	var at time.Duration
+	for _, ph := range plan.Phases {
+		if ph.OpenEnded {
+			return ph
+		}
+		at += ph.Dur
+		if t < at {
+			return ph
+		}
+	}
+	return plan.Phases[len(plan.Phases)-1]
+}
+
+// RequiredRuntime computes, for a candidate UPS power rating, the rated
+// runtime the battery must be provisioned with for the plan to survive the
+// whole outage, using the technology's Peukert fractional-depletion
+// accounting: each segment consumes (duration / runtimeAt(load)) of the
+// pack, so the required rated runtime R satisfies
+//
+//	Σ dur_i / (R · (P_rated/L_i)^k) = 1.
+//
+// It returns ok=false when some segment's UPS need exceeds the rating (no
+// runtime helps — the plan needs more power capacity).
+func RequiredRuntime(env technique.Env, w workload.Spec, plan technique.Plan, dg genset.Config, outage time.Duration, rated units.Watts, peukert float64, minLoadFrac float64) (time.Duration, bool) {
+	horizon := outage
+	if dgEnds := dg.Provisioned() && dg.CanCarry(env.NormalPower(w)); dgEnds && dg.TransferCompleteAt() < outage {
+		horizon = dg.TransferCompleteAt()
+	}
+	if rated <= 0 {
+		// Only feasible if nothing is ever needed from the UPS.
+		for _, seg := range Segments(env, w, plan, dg, horizon) {
+			if seg.UPSNeed > 0 {
+				return 0, false
+			}
+		}
+		return 0, true
+	}
+	total := 0.0 // required rated runtime in hours
+	for _, seg := range Segments(env, w, plan, dg, horizon) {
+		if seg.UPSNeed <= 0 {
+			continue
+		}
+		if seg.UPSNeed > rated*(1+1e-9) {
+			return 0, false
+		}
+		frac := float64(seg.UPSNeed) / float64(rated)
+		if frac < minLoadFrac {
+			frac = minLoadFrac
+		}
+		// stretch = (rated/load)^k; segment consumes dur/(R*stretch).
+		stretch := math.Pow(1/frac, peukert)
+		total += (seg.End - seg.Start).Hours() / stretch
+	}
+	return time.Duration(total * float64(time.Hour)), true
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/battery"
+	"backuppower/internal/cost"
+	"backuppower/internal/genset"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/ups"
+	"backuppower/internal/workload"
+)
+
+func TestSegmentsTileHorizon(t *testing.T) {
+	e := env()
+	w := workload.Specjbb()
+	plan := technique.Hibernate{}.Plan(e, w, time.Hour)
+	dg := genset.New(e.PeakPower())
+	horizon := 20 * time.Minute
+	segs := Segments(e, w, plan, dg, horizon)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	if segs[0].Start != 0 {
+		t.Errorf("first start = %v", segs[0].Start)
+	}
+	if segs[len(segs)-1].End != horizon {
+		t.Errorf("last end = %v", segs[len(segs)-1].End)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Fatalf("gap between segments %d and %d", i-1, i)
+		}
+	}
+	// Supply decomposition holds everywhere.
+	for _, s := range segs {
+		if !units.AlmostEqual(float64(s.Load), float64(s.DGSupply+s.UPSNeed), 1e-9) {
+			t.Errorf("segment [%v,%v): load %v != dg %v + ups %v",
+				s.Start, s.End, s.Load, s.DGSupply, s.UPSNeed)
+		}
+		if s.DGSupply < 0 || s.UPSNeed < 0 {
+			t.Errorf("negative supply in segment %+v", s)
+		}
+	}
+}
+
+func TestSegmentsDGTakeover(t *testing.T) {
+	e := env()
+	w := workload.Specjbb()
+	plan := technique.Baseline{}.Plan(e, w, time.Hour)
+	dg := genset.New(e.PeakPower())
+	segs := Segments(e, w, plan, dg, 10*time.Minute)
+	// Before DG start: UPS carries everything.
+	first := segs[0]
+	if first.DGSupply != 0 || first.UPSNeed != first.Load {
+		t.Errorf("pre-start segment: %+v", first)
+	}
+	// After transfer completes: DG carries everything.
+	last := segs[len(segs)-1]
+	if last.UPSNeed != 0 || last.DGSupply != last.Load {
+		t.Errorf("post-transfer segment: %+v", last)
+	}
+	// UPS share is non-increasing through the ramp.
+	prev := first.UPSNeed
+	for _, s := range segs {
+		if s.UPSNeed > prev {
+			t.Fatalf("UPS need grew at %v", s.Start)
+		}
+		prev = s.UPSNeed
+	}
+}
+
+func TestSegmentsEmptyHorizon(t *testing.T) {
+	e := env()
+	w := workload.Specjbb()
+	plan := technique.Baseline{}.Plan(e, w, time.Hour)
+	if segs := Segments(e, w, plan, genset.None(), 0); segs != nil {
+		t.Errorf("zero horizon should yield nil, got %d", len(segs))
+	}
+}
+
+func TestRequiredRuntimeMatchesSimulation(t *testing.T) {
+	// The analytic sizing must agree with the simulator: provisioning
+	// exactly the required runtime survives; 2% less does not.
+	e := env()
+	w := workload.Specjbb()
+	tech := technique.Throttling{PState: 6}
+	outage := 30 * time.Minute
+	plan := tech.Plan(e, w, outage)
+	tech2 := battery.LeadAcid()
+
+	rated := units.Watts(0.6 * float64(e.PeakPower()))
+	need, ok := RequiredRuntime(e, w, plan, genset.None(), outage, rated, tech2.PeukertExponent, tech2.MinLoadFraction)
+	if !ok {
+		t.Fatalf("sizing infeasible; plan peak %v vs rated %v", plan.PeakPower(), rated)
+	}
+
+	run := func(rt time.Duration) Result {
+		b := Scenario{
+			Env: e, Workload: w,
+			Backup:    cost.Custom("custom", 0, rated, rt),
+			Technique: tech, Outage: outage,
+		}
+		r, err := Simulate(b)
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		return r
+	}
+	if r := run(need + time.Second); !r.Survived {
+		t.Errorf("provisioning the required runtime %v should survive (crash %v)", need, r.CrashedAt)
+	}
+	if r := run(time.Duration(float64(need) * 0.98)); r.Survived && need > ups.NewConfig(rated, 0).Tech.FreeRunTime {
+		t.Errorf("2%% less than required runtime %v should fail", need)
+	}
+}
+
+func TestRequiredRuntimeInfeasible(t *testing.T) {
+	e := env()
+	w := workload.Specjbb()
+	plan := technique.Baseline{}.Plan(e, w, time.Hour)
+	tech := battery.LeadAcid()
+	// Rating below the plan's peak: impossible.
+	_, ok := RequiredRuntime(e, w, plan, genset.None(), time.Hour, e.PeakPower()/4, tech.PeukertExponent, tech.MinLoadFraction)
+	if ok {
+		t.Error("under-rated UPS should be infeasible")
+	}
+	// Zero rating is feasible only for zero-draw plans.
+	_, ok = RequiredRuntime(e, w, plan, genset.None(), time.Hour, 0, tech.PeukertExponent, tech.MinLoadFraction)
+	if ok {
+		t.Error("zero-power UPS should be infeasible for a live plan")
+	}
+	// With a full DG, the baseline needs only the bridge: zero UPS still
+	// fails (the ramp needs power), but the requirement with a full-power
+	// rating is only ~the ramp duration.
+	dg := genset.New(e.PeakPower())
+	need, ok := RequiredRuntime(e, w, plan, dg, time.Hour, e.PeakPower(), tech.PeukertExponent, tech.MinLoadFraction)
+	if !ok {
+		t.Fatal("full-power UPS behind DG should be feasible")
+	}
+	if need > 3*time.Minute {
+		t.Errorf("bridge requirement = %v, want < 3m", need)
+	}
+}

@@ -1,0 +1,290 @@
+// Package core is the paper's evaluation framework: it composes the
+// component models (battery, genset, UPS, server, workload, technique,
+// cluster) to answer the questions Sections 4-6 pose —
+//
+//   - What does a given backup configuration cost, and what performance and
+//     down time does it deliver for a workload and outage duration?
+//   - What is the minimum-cost backup that lets a given technique survive a
+//     given outage (the per-technique cost bars of Figures 6-9)?
+//   - Which technique is best for a fixed configuration (Figure 5)?
+//   - How should an online policy escalate through techniques when the
+//     outage duration is unknown (Section 7)?
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"backuppower/internal/battery"
+	"backuppower/internal/cluster"
+	"backuppower/internal/cost"
+	"backuppower/internal/genset"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// Framework evaluates scenarios for one datacenter environment.
+type Framework struct {
+	Env technique.Env
+
+	// Battery selects the chemistry used when sizing UPS capacity
+	// (lead-acid by default; Section 7 discusses Li-ion's different
+	// power/energy cost asymmetry).
+	Battery battery.Technology
+}
+
+// New returns a framework over the paper's default testbed scaled to n
+// servers.
+func New(n int) *Framework {
+	return &Framework{Env: technique.DefaultEnv(n), Battery: battery.LeadAcid()}
+}
+
+// Evaluate runs a single scenario.
+func (f *Framework) Evaluate(b cost.Backup, tech technique.Technique, w workload.Spec, outage time.Duration) (cluster.Result, error) {
+	return cluster.Simulate(cluster.Scenario{
+		Env: f.Env, Workload: w, Backup: b, Technique: tech, Outage: outage,
+	})
+}
+
+// OperatingPoint is a technique paired with the cheapest backup that lets
+// it survive an outage, and the resulting metrics.
+type OperatingPoint struct {
+	Technique string
+	Backup    cost.Backup
+	Result    cluster.Result
+	NormCost  float64
+}
+
+// MinCostUPS finds the cheapest UPS-only backup (no DG — Section 6.2
+// restricts the technique study to DG-less configs) under which the
+// technique survives the entire outage without state loss. The search
+// exploits the Peukert trade: a larger power rating costs more electronics
+// but stretches runtime superlinearly, so the cost curve over the rating is
+// swept numerically.
+func (f *Framework) MinCostUPS(tech technique.Technique, w workload.Spec, outage time.Duration) (OperatingPoint, bool) {
+	plan := tech.Plan(f.Env, w, outage)
+	peakNeed := plan.PeakPower()
+	dcPeak := f.Env.PeakPower()
+	if peakNeed > dcPeak {
+		peakNeed = dcPeak
+	}
+	btech := f.Battery
+	if btech.Name == "" {
+		btech = battery.LeadAcid()
+	}
+
+	best := cost.Backup{}
+	bestCost := math.Inf(1)
+	found := false
+
+	consider := func(rated units.Watts) {
+		if rated < peakNeed {
+			return
+		}
+		runtime, ok := cluster.RequiredRuntime(f.Env, w, plan, genset.None(), outage,
+			rated, btech.PeukertExponent, btech.MinLoadFraction)
+		if !ok {
+			return
+		}
+		// Tiny provisioning margin so the simulation's fractional
+		// depletion does not land exactly on empty at the outage end,
+		// rounded up to whole seconds (battery modules are not sold in
+		// nanoseconds).
+		runtime = time.Duration(float64(runtime)*1.001) + time.Second
+		runtime = runtime.Truncate(time.Second) + time.Second
+		b := cost.CustomTech(fmt.Sprintf("ups-%s", tech.Name()), 0, rated, runtime, btech)
+		if c := float64(b.AnnualCost()); c < bestCost {
+			bestCost, best, found = c, b, true
+		}
+	}
+
+	if peakNeed <= 0 {
+		// Zero-draw plan (fully state-safe immediately) — no backup needed.
+		b := cost.MinCost(dcPeak)
+		res, err := f.Evaluate(b, tech, w, outage)
+		if err != nil || !res.Survived {
+			return OperatingPoint{}, false
+		}
+		return OperatingPoint{Technique: tech.Name(), Backup: b, Result: res}, true
+	}
+	// Sweep ratings geometrically from the plan's peak need to the
+	// datacenter peak.
+	const steps = 64
+	lo, hi := float64(peakNeed), float64(dcPeak)
+	if hi < lo {
+		hi = lo
+	}
+	for i := 0; i <= steps; i++ {
+		consider(units.Watts(lo * math.Pow(hi/lo, float64(i)/steps)))
+	}
+
+	if !found {
+		return OperatingPoint{}, false
+	}
+	res, err := f.Evaluate(best, tech, w, outage)
+	if err != nil || !res.Survived {
+		return OperatingPoint{}, false
+	}
+	return OperatingPoint{
+		Technique: tech.Name(),
+		Backup:    best,
+		Result:    res,
+		NormCost:  best.NormalizedCost(dcPeak),
+	}, true
+}
+
+// Band is a (min, max) pair over a technique's variants — the paper's
+// (Min,Max) bars for DVFS-based techniques.
+type Band struct {
+	Min, Max float64
+}
+
+// DurationBand is a (min, max) pair of durations.
+type DurationBand struct {
+	Min, Max time.Duration
+}
+
+// TechniqueSummary aggregates a technique family's operating points for one
+// workload and outage duration — one column group of Figures 6-9.
+type TechniqueSummary struct {
+	Technique string
+	Feasible  bool
+	Cost      Band
+	Perf      Band
+	Downtime  DurationBand
+	Points    []OperatingPoint
+}
+
+// variant is one concrete instance within a technique family.
+type variant struct {
+	family string
+	tech   technique.Technique
+}
+
+// variants expands the Section 6 technique families into concrete
+// instances: throttling across the DVFS range, hybrids across
+// active-fraction splits.
+func (f *Framework) variants() []variant {
+	deepest := len(f.Env.Server.PStates) - 1
+	var out []variant
+	add := func(family string, t technique.Technique) {
+		out = append(out, variant{family, t})
+	}
+	for p := 1; p <= deepest; p++ {
+		add("Throttling", technique.Throttling{PState: p})
+	}
+	add("Migration", technique.Migration{})
+	add("Migration", technique.Migration{ThrottleDeep: true})
+	add("ProactiveMigration", technique.Migration{Proactive: true})
+	add("ProactiveMigration", technique.Migration{Proactive: true, ThrottleDeep: true})
+	add("Sleep", technique.Sleep{})
+	add("Sleep-L", technique.Sleep{LowPower: true})
+	add("Hibernate", technique.Hibernate{})
+	add("Hibernate-L", technique.Hibernate{LowPower: true})
+	add("ProactiveHibernate", technique.Hibernate{Proactive: true})
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		add("Throttle+Sleep-L", technique.ThrottleThenSave{
+			PState: deepest, Save: technique.SaveSleep, ActiveFraction: frac,
+		})
+		add("Throttle+Hibernate", technique.ThrottleThenSave{
+			PState: deepest, Save: technique.SaveHibernate, ActiveFraction: frac,
+		})
+		add("Migration+Sleep-L", technique.MigrationThenSleep{ActiveFraction: frac})
+	}
+	return out
+}
+
+// Families returns the family names in presentation order.
+func Families() []string {
+	return []string{
+		"Throttling", "Migration", "ProactiveMigration",
+		"Sleep", "Sleep-L", "Hibernate", "Hibernate-L", "ProactiveHibernate",
+		"Throttle+Sleep-L", "Throttle+Hibernate", "Migration+Sleep-L",
+	}
+}
+
+// EvaluateTechniques computes, for each technique family, the band of
+// min-cost operating points across its variants — the data behind
+// Figures 6-9.
+func (f *Framework) EvaluateTechniques(w workload.Spec, outage time.Duration) []TechniqueSummary {
+	byFamily := map[string]*TechniqueSummary{}
+	order := Families()
+	for _, name := range order {
+		byFamily[name] = &TechniqueSummary{Technique: name}
+	}
+	for _, v := range f.variants() {
+		op, ok := f.MinCostUPS(v.tech, w, outage)
+		if !ok {
+			continue
+		}
+		s := byFamily[v.family]
+		if s == nil {
+			continue
+		}
+		s.Points = append(s.Points, op)
+		if !s.Feasible {
+			s.Feasible = true
+			s.Cost = Band{op.NormCost, op.NormCost}
+			s.Perf = Band{op.Result.Perf, op.Result.Perf}
+			s.Downtime = DurationBand{op.Result.Downtime, op.Result.Downtime}
+			continue
+		}
+		s.Cost.Min = math.Min(s.Cost.Min, op.NormCost)
+		s.Cost.Max = math.Max(s.Cost.Max, op.NormCost)
+		s.Perf.Min = math.Min(s.Perf.Min, op.Result.Perf)
+		s.Perf.Max = math.Max(s.Perf.Max, op.Result.Perf)
+		if op.Result.Downtime < s.Downtime.Min {
+			s.Downtime.Min = op.Result.Downtime
+		}
+		if op.Result.Downtime > s.Downtime.Max {
+			s.Downtime.Max = op.Result.Downtime
+		}
+	}
+	out := make([]TechniqueSummary, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byFamily[name])
+	}
+	return out
+}
+
+// BestForConfig picks the technique (across all variants, plus the plain
+// baseline) that performs best behind a FIXED backup configuration — the
+// Figure 5 selection rule: "for each backup configuration, we choose the
+// system technique that offers the highest performance and lowest down
+// time". Survival dominates, then higher performance, then lower downtime.
+func (f *Framework) BestForConfig(b cost.Backup, w workload.Spec, outage time.Duration) (cluster.Result, technique.Technique) {
+	candidates := append([]variant{
+		{"Baseline", technique.Baseline{}},
+	}, f.variants()...)
+	// Budget-driven capping: the power move an underprovisioned UPS
+	// (DG-SmallPUPS, SmallP-LargeEUPS) needs to keep serving under its
+	// cap — the capping controller picks the fastest fitting P/T state.
+	if b.UPS.Provisioned() {
+		candidates = append(candidates,
+			variant{"CappedThrottling", technique.CappedThrottling{Budget: b.UPS.PowerCapacity}})
+	}
+	var bestRes cluster.Result
+	var bestTech technique.Technique
+	have := false
+	better := func(a, b cluster.Result) bool {
+		if a.Survived != b.Survived {
+			return a.Survived
+		}
+		if !units.AlmostEqual(a.Perf, b.Perf, 1e-6) {
+			return a.Perf > b.Perf
+		}
+		return a.Downtime < b.Downtime
+	}
+	for _, v := range candidates {
+		res, err := f.Evaluate(b, v.tech, w, outage)
+		if err != nil {
+			continue
+		}
+		if !have || better(res, bestRes) {
+			bestRes, bestTech, have = res, v.tech, true
+		}
+	}
+	return bestRes, bestTech
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/cost"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+func fw() *Framework { return New(16) }
+
+func TestEvaluateDelegates(t *testing.T) {
+	f := fw()
+	r, err := f.Evaluate(cost.MaxPerf(f.Env.PeakPower()), technique.Baseline{}, workload.Specjbb(), time.Minute)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !r.Survived || r.Perf != 1 {
+		t.Errorf("MaxPerf baseline: %+v", r)
+	}
+}
+
+func TestMinCostUPSThrottlingShort(t *testing.T) {
+	// Paper: Throttling achieves MaxPerf-like performance at < 40% of
+	// MaxPerf cost for outages up to 30 minutes.
+	f := fw()
+	w := workload.Specjbb()
+	op, ok := f.MinCostUPS(technique.Throttling{PState: 6}, w, 30*time.Minute)
+	if !ok {
+		t.Fatal("sizing failed")
+	}
+	if !op.Result.Survived {
+		t.Fatal("sized config must survive")
+	}
+	if op.NormCost >= 0.4 {
+		t.Errorf("deep-throttle 30min cost = %v, want < 0.4", op.NormCost)
+	}
+	if op.Result.Downtime != 0 {
+		t.Errorf("throttling downtime = %v", op.Result.Downtime)
+	}
+}
+
+func TestMinCostUPSSleepIsCheapest(t *testing.T) {
+	// Sleep's ~5 W/server load plus Peukert stretch makes it far cheaper
+	// than throttling for the same duration.
+	f := fw()
+	w := workload.Specjbb()
+	outage := 30 * time.Minute
+	sleep, ok1 := f.MinCostUPS(technique.Sleep{LowPower: true}, w, outage)
+	thr, ok2 := f.MinCostUPS(technique.Throttling{PState: 6}, w, outage)
+	if !ok1 || !ok2 {
+		t.Fatal("sizing failed")
+	}
+	if sleep.NormCost >= thr.NormCost {
+		t.Errorf("sleep %v should undercut throttling %v", sleep.NormCost, thr.NormCost)
+	}
+	if sleep.NormCost >= 0.25 {
+		t.Errorf("sleep-L cost = %v, want ~0.2 (paper: Sleep-L costs 20%% of MaxPerf)", sleep.NormCost)
+	}
+}
+
+func TestMinCostUPSLongOutageThrottlingExpensive(t *testing.T) {
+	// Paper: for 2 h outages, sustain-execution needs > ~56% of MaxPerf
+	// cost, while Throttle+Sleep-L still works around ~20%.
+	f := fw()
+	w := workload.Specjbb()
+	outage := 2 * time.Hour
+	thr, ok := f.MinCostUPS(technique.Throttling{PState: 6}, w, outage)
+	if !ok {
+		t.Fatal("throttle sizing failed")
+	}
+	hyb, ok := f.MinCostUPS(technique.ThrottleThenSave{
+		PState: 6, Save: technique.SaveSleep, ActiveFraction: 0.25,
+	}, w, outage)
+	if !ok {
+		t.Fatal("hybrid sizing failed")
+	}
+	if thr.NormCost < 0.45 {
+		t.Errorf("2h throttling cost = %v, want >= ~0.5", thr.NormCost)
+	}
+	if hyb.NormCost >= thr.NormCost/1.5 {
+		t.Errorf("hybrid %v should massively undercut throttling %v", hyb.NormCost, thr.NormCost)
+	}
+	if hyb.Result.Perf <= 0 {
+		t.Error("hybrid should retain some service")
+	}
+}
+
+func TestEvaluateTechniquesFamilies(t *testing.T) {
+	f := fw()
+	sums := f.EvaluateTechniques(workload.Specjbb(), 30*time.Minute)
+	if len(sums) != len(Families()) {
+		t.Fatalf("families = %d", len(sums))
+	}
+	byName := map[string]TechniqueSummary{}
+	for _, s := range sums {
+		byName[s.Technique] = s
+		if !s.Feasible {
+			continue
+		}
+		if s.Cost.Min > s.Cost.Max || s.Perf.Min > s.Perf.Max || s.Downtime.Min > s.Downtime.Max {
+			t.Errorf("%s: inverted bands %+v", s.Technique, s)
+		}
+		if s.Cost.Min < 0 || s.Cost.Max > 1.2 {
+			t.Errorf("%s: cost band %+v out of range", s.Technique, s.Cost)
+		}
+	}
+	// Throttling must span a real band across DVFS states.
+	thr := byName["Throttling"]
+	if !thr.Feasible {
+		t.Fatal("throttling infeasible")
+	}
+	if thr.Perf.Max <= thr.Perf.Min {
+		t.Errorf("throttling perf band degenerate: %+v", thr.Perf)
+	}
+	// Save-state families must be feasible and cheap.
+	for _, name := range []string{"Sleep", "Sleep-L", "Hibernate", "Throttle+Sleep-L"} {
+		s := byName[name]
+		if !s.Feasible {
+			t.Errorf("%s infeasible at 30min", name)
+		}
+	}
+	// Sleep-L cheaper than Sleep (lower save-phase power cap).
+	if byName["Sleep-L"].Cost.Min > byName["Sleep"].Cost.Min {
+		t.Errorf("Sleep-L %v should not cost more than Sleep %v",
+			byName["Sleep-L"].Cost.Min, byName["Sleep"].Cost.Min)
+	}
+}
+
+func TestBestForConfigMaxPerf(t *testing.T) {
+	f := fw()
+	res, tech := f.BestForConfig(cost.MaxPerf(f.Env.PeakPower()), workload.Specjbb(), 30*time.Minute)
+	if tech == nil {
+		t.Fatal("no technique chosen")
+	}
+	if !res.Survived || res.Perf < 0.999 || res.Downtime != 0 {
+		t.Errorf("MaxPerf best = %s %+v", tech.Name(), res)
+	}
+}
+
+func TestBestForConfigNoDGShortVsLong(t *testing.T) {
+	f := fw()
+	w := workload.Specjbb()
+	b := cost.NoDG(f.Env.PeakPower())
+	// 1-minute outage: plain full service survives on the 2-min battery.
+	short, _ := f.BestForConfig(b, w, time.Minute)
+	if !short.Survived || short.Perf < 0.999 {
+		t.Errorf("NoDG 1min best: %+v", short)
+	}
+	// 30-minute outage: must pick something that survives (hybrid/sleep),
+	// beating the baseline crash.
+	long, tech := f.BestForConfig(b, w, 30*time.Minute)
+	if !long.Survived {
+		t.Errorf("NoDG 30min best (%v) did not survive: %+v", tech.Name(), long)
+	}
+}
+
+func TestBestForConfigMinCostStillCrashes(t *testing.T) {
+	f := fw()
+	res, _ := f.BestForConfig(cost.MinCost(f.Env.PeakPower()), workload.Specjbb(), time.Minute)
+	if res.Survived {
+		t.Error("no backup: every technique crashes")
+	}
+}
+
+func TestMinCostUPSInfeasibleWithoutMargin(t *testing.T) {
+	// A plan whose peak exceeds the datacenter peak cannot happen; but a
+	// Baseline plan for a multi-hour outage should still be sizable (it
+	// just costs a lot).
+	f := fw()
+	op, ok := f.MinCostUPS(technique.Baseline{}, workload.Specjbb(), 4*time.Hour)
+	if !ok {
+		t.Fatal("baseline 4h should be sizable (expensive)")
+	}
+	if op.NormCost < 0.5 {
+		t.Errorf("4h full-service UPS cost = %v, suspiciously cheap", op.NormCost)
+	}
+}
+
+func TestMinCostMonotoneInDuration(t *testing.T) {
+	// Longer outages can't get cheaper for the same technique.
+	f := fw()
+	w := workload.Memcached()
+	tech := technique.Throttling{PState: 4}
+	prev := -1.0
+	for _, d := range []time.Duration{5 * time.Minute, 30 * time.Minute, time.Hour} {
+		op, ok := f.MinCostUPS(tech, w, d)
+		if !ok {
+			t.Fatalf("sizing failed at %v", d)
+		}
+		if op.NormCost < prev-1e-9 {
+			t.Fatalf("cost decreased with duration at %v: %v < %v", d, op.NormCost, prev)
+		}
+		prev = op.NormCost
+	}
+}
+
+func TestMemcachedThrottlingPerfAdvantage(t *testing.T) {
+	// §6.2: Throttling perf for Memcached beats SPECjbb's at equal depth.
+	f := fw()
+	outage := 30 * time.Minute
+	mc, ok1 := f.MinCostUPS(technique.Throttling{PState: 6}, workload.Memcached(), outage)
+	jbb, ok2 := f.MinCostUPS(technique.Throttling{PState: 6}, workload.Specjbb(), outage)
+	if !ok1 || !ok2 {
+		t.Fatal("sizing failed")
+	}
+	if mc.Result.Perf <= jbb.Result.Perf {
+		t.Errorf("memcached throttled perf %v should beat specjbb %v",
+			mc.Result.Perf, jbb.Result.Perf)
+	}
+}
+
+func TestZeroDrawPlanNeedsNoBackup(t *testing.T) {
+	f := fw()
+	// NVDIMM-style: a technique whose plan never draws backup power.
+	op, ok := f.MinCostUPS(zeroDrawTechnique{}, workload.Specjbb(), time.Hour)
+	if !ok {
+		t.Fatal("zero-draw should be trivially feasible")
+	}
+	if op.NormCost != 0 {
+		t.Errorf("zero-draw cost = %v", op.NormCost)
+	}
+}
+
+type zeroDrawTechnique struct{}
+
+func (zeroDrawTechnique) Name() string { return "zero-draw" }
+func (zeroDrawTechnique) Plan(env technique.Env, w workload.Spec, outage time.Duration) technique.Plan {
+	return technique.Plan{
+		Technique: "zero-draw",
+		Phases:    []technique.Phase{{Name: "safe", OpenEnded: true, StateSafe: true}},
+	}
+}
+
+var _ technique.Technique = zeroDrawTechnique{}
+
+func TestOperatingPointCostConsistency(t *testing.T) {
+	f := fw()
+	op, ok := f.MinCostUPS(technique.Sleep{}, workload.Specjbb(), 10*time.Minute)
+	if !ok {
+		t.Fatal("sizing failed")
+	}
+	want := op.Backup.NormalizedCost(f.Env.PeakPower())
+	if !units.AlmostEqual(op.NormCost, want, 1e-9) {
+		t.Errorf("NormCost %v != recomputed %v", op.NormCost, want)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/battery"
+	"backuppower/internal/cluster"
+	"backuppower/internal/cost"
+	"backuppower/internal/simkit"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// PolicyResult is the outcome of running the adaptive policy through one
+// outage whose duration the policy did NOT know in advance.
+type PolicyResult struct {
+	Outage   time.Duration
+	Survived bool
+	// Perf is the mean normalized performance over the outage window.
+	Perf float64
+	// Downtime spans the outage and the post-restore recovery.
+	Downtime time.Duration
+	// Transitions lists the modes entered, in order.
+	Transitions []Mode
+	// FinalMode is where the escalation ended.
+	FinalMode Mode
+}
+
+// SimulatePolicy drives an AdaptivePolicy through an outage step by step:
+// at every decision interval it consults the policy (which sees only the
+// elapsed time and battery charge), applies mode transitions with their
+// real costs (suspend times, save times, migration), drains the battery
+// through the Peukert model, and scores the result exactly the way the
+// scenario simulator scores fixed plans. This answers Section 7's first
+// challenge quantitatively: how close does an online policy get to the
+// oracle that knows the outage duration?
+func SimulatePolicy(pol *AdaptivePolicy, outage, step time.Duration) (PolicyResult, error) {
+	if pol == nil {
+		return PolicyResult{}, fmt.Errorf("core: nil policy")
+	}
+	if outage <= 0 || step <= 0 {
+		return PolicyResult{}, fmt.Errorf("core: non-positive outage/step")
+	}
+	env, w := pol.Env, pol.Workload
+	pack := pol.UPS.Pack()
+	var state battery.State
+
+	res := PolicyResult{Outage: outage, Survived: true}
+	perf := simkit.NewTrace("policy-perf", 0)
+
+	var (
+		elapsed   time.Duration
+		unavail   time.Duration
+		crashed   bool
+		saved     bool // hibernate image persisted
+		inTransit time.Duration
+		transitTo Mode = -1
+	)
+	mode := ModeFullService
+	record := func(m Mode) {
+		if len(res.Transitions) == 0 || res.Transitions[len(res.Transitions)-1] != m {
+			res.Transitions = append(res.Transitions, m)
+		}
+	}
+	record(mode)
+
+	for elapsed < outage && !crashed {
+		// Finish any in-flight transition first.
+		if inTransit <= 0 && transitTo < 0 {
+			d := pol.Decide(elapsed, state.Remaining())
+			if d.Mode != mode {
+				transitTo = d.Mode
+				inTransit = transitionTime(env, w, mode, d.Mode)
+				if inTransit == 0 {
+					mode = d.Mode
+					record(mode)
+					transitTo = -1
+				}
+			}
+		}
+
+		dt := step
+		if elapsed+dt > outage {
+			dt = outage - elapsed
+		}
+		var load units.Watts
+		var level float64
+		var available bool
+		switch {
+		case transitTo >= 0:
+			load = transitionPower(env, w, mode, transitTo)
+			level, available = 0, false
+			if transitTo == ModeConsolidated {
+				// Migration keeps serving while copying.
+				level, available = pol.ModePerf(mode)*0.9, true
+			}
+			if dt > inTransit {
+				dt = inTransit
+			}
+		default:
+			load = pol.ModePower(mode)
+			level = pol.ModePerf(mode)
+			available = level > 0
+			if mode == ModeHibernate {
+				saved = true
+			}
+		}
+
+		perf.Set(elapsed, level)
+		sustained := dt
+		if load > 0 {
+			if !pol.UPS.CanCarry(load) {
+				crashed = true
+				sustained = 0
+			} else {
+				sustained = state.Drain(pack, load, dt)
+			}
+		}
+		if !available {
+			unavail += sustained
+		}
+		elapsed += sustained
+		if transitTo >= 0 {
+			inTransit -= sustained
+			if inTransit <= 0 {
+				mode = transitTo
+				record(mode)
+				if mode == ModeHibernate {
+					saved = true
+				}
+				transitTo = -1
+			}
+		}
+		if sustained < dt {
+			// Battery died (or the cap was violated) mid-step.
+			if saved && (mode == ModeHibernate || transitTo == ModeHibernate) && inTransit <= 0 {
+				// State already on disk; going dark is safe.
+				perf.Set(elapsed, 0)
+				unavail += outage - elapsed
+				elapsed = outage
+				break
+			}
+			crashed = true
+			perf.Set(elapsed, 0)
+			unavail += outage - elapsed
+			elapsed = outage
+		}
+	}
+
+	res.FinalMode = mode
+	perf.Set(outage, perf.At(outage))
+	res.Perf = perf.Mean(0, outage)
+
+	// Post-restore accounting mirrors the scenario simulator.
+	switch {
+	case crashed:
+		res.Survived = false
+		lo, hi := technique.CrashRecovery(env, w)
+		res.Downtime = unavail + (lo+hi)/2
+	case mode == ModeHibernate || (saved && mode != ModeFullService && mode != ModeThrottled):
+		res.Downtime = unavail + technique.Hibernate{LowPower: true}.ResumeTime(env, w)
+	case mode == ModeSleep:
+		res.Downtime = unavail + env.Server.ResumeFromSleep
+	case mode == ModeConsolidated:
+		res.Downtime = unavail + 5*time.Second // stop-and-copy pauses
+	default:
+		res.Downtime = unavail
+	}
+	pol.Reset(outage)
+	return res, nil
+}
+
+// transitionTime is how long entering `to` from `from` takes.
+func transitionTime(env technique.Env, w workload.Spec, from, to Mode) time.Duration {
+	switch to {
+	case ModeThrottled, ModeFullService:
+		return 0
+	case ModeConsolidated:
+		return technique.Migration{ThrottleDeep: true}.Plan(env, w, time.Hour).Phases[0].Dur
+	case ModeSleep:
+		p := technique.Sleep{LowPower: true}.Plan(env, w, time.Hour)
+		return p.Phases[0].Dur
+	case ModeHibernate:
+		return technique.Hibernate{LowPower: true}.SaveTime(env, w)
+	default:
+		return 0
+	}
+}
+
+// transitionPower is the aggregate draw while transitioning.
+func transitionPower(env technique.Env, w workload.Spec, from, to Mode) units.Watts {
+	n := units.Watts(env.Servers)
+	deep := env.Server.DeepestPState()
+	switch to {
+	case ModeSleep:
+		return env.Server.ActivePower(w.Utilization, deep, env.Server.TStateDuty(2)) * n
+	case ModeHibernate:
+		return env.Server.ActivePower(1, deep, 1) * n
+	case ModeConsolidated:
+		return env.Server.ActivePower(w.Utilization, deep, 1) * n
+	default:
+		return env.Server.ActivePower(w.Utilization, env.Server.PStates[0], 1) * n
+	}
+}
+
+// PolicyVsOracle compares the adaptive policy against the oracle that knew
+// the outage duration (BestForConfig over the same backup), for one outage.
+func (f *Framework) PolicyVsOracle(u cost.Backup, w workload.Spec, outage, step time.Duration) (PolicyResult, cluster.Result, error) {
+	pol, err := NewAdaptivePolicy(f.Env, w, u.UPS)
+	if err != nil {
+		return PolicyResult{}, cluster.Result{}, err
+	}
+	pr, err := SimulatePolicy(pol, outage, step)
+	if err != nil {
+		return PolicyResult{}, cluster.Result{}, err
+	}
+	or, _ := f.BestForConfig(u, w, outage)
+	return pr, or, nil
+}

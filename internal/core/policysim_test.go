@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/cost"
+	"backuppower/internal/technique"
+	"backuppower/internal/ups"
+	"backuppower/internal/workload"
+)
+
+func simPolicy(t *testing.T, runtime, outage time.Duration) PolicyResult {
+	t.Helper()
+	env := technique.DefaultEnv(16)
+	u := ups.NewConfig(env.PeakPower(), runtime)
+	pol, err := NewAdaptivePolicy(env, workload.Specjbb(), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SimulatePolicy(pol, outage, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPolicySimShortOutageFullService(t *testing.T) {
+	// A 30-second blip on a 20-minute battery: the policy should ride it
+	// at (or near) full service with no downtime to speak of.
+	r := simPolicy(t, 20*time.Minute, 30*time.Second)
+	if !r.Survived {
+		t.Fatal("short outage crashed")
+	}
+	if r.Perf < 0.95 {
+		t.Errorf("perf = %v, want ~1", r.Perf)
+	}
+	if r.FinalMode != ModeFullService {
+		t.Errorf("final mode = %v", r.FinalMode)
+	}
+	if r.Downtime > time.Second {
+		t.Errorf("downtime = %v", r.Downtime)
+	}
+}
+
+func TestPolicySimEscalatesOnLongOutage(t *testing.T) {
+	// Two hours on a 20-minute battery: the policy must escalate to a
+	// state-preserving mode and survive.
+	r := simPolicy(t, 20*time.Minute, 2*time.Hour)
+	if !r.Survived {
+		t.Fatalf("policy lost state: %+v", r)
+	}
+	if r.FinalMode < ModeSleep {
+		t.Errorf("final mode = %v, want sleep or deeper", r.FinalMode)
+	}
+	// It served something before going dark.
+	if r.Perf <= 0 {
+		t.Errorf("perf = %v, want some early service", r.Perf)
+	}
+	// Escalation is monotone.
+	for i := 1; i < len(r.Transitions); i++ {
+		if r.Transitions[i] < r.Transitions[i-1] {
+			t.Fatalf("transitions not monotone: %v", r.Transitions)
+		}
+	}
+}
+
+func TestPolicySimTinyBatterySavesState(t *testing.T) {
+	// 2-minute battery, 30-minute outage: the optimistic start must not
+	// cost the datacenter its state — the reserve logic sleeps in time.
+	r := simPolicy(t, 2*time.Minute, 30*time.Minute)
+	if !r.Survived {
+		t.Fatalf("tiny battery crashed: transitions %v", r.Transitions)
+	}
+}
+
+func TestPolicySimValidation(t *testing.T) {
+	if _, err := SimulatePolicy(nil, time.Minute, time.Second); err == nil {
+		t.Error("nil policy should fail")
+	}
+	env := technique.DefaultEnv(16)
+	pol, _ := NewAdaptivePolicy(env, workload.Specjbb(), ups.NewConfig(env.PeakPower(), 10*time.Minute))
+	if _, err := SimulatePolicy(pol, 0, time.Second); err == nil {
+		t.Error("zero outage should fail")
+	}
+	if _, err := SimulatePolicy(pol, time.Minute, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+}
+
+func TestPolicyVsOracleGap(t *testing.T) {
+	// The oracle knows the duration; the policy must stay in the same
+	// ballpark — survival always, and not catastrophically worse service.
+	f := New(16)
+	b := cost.LargeEUPS(f.Env.PeakPower())
+	for _, outage := range []time.Duration{time.Minute, 30 * time.Minute, 2 * time.Hour} {
+		pr, or, err := f.PolicyVsOracle(b, workload.Specjbb(), outage, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if or.Survived && !pr.Survived {
+			t.Errorf("outage %v: oracle survived, policy crashed", outage)
+		}
+		// The policy may be conservative, never reckless: its downtime
+		// can exceed the oracle's but not by more than the outage itself
+		// plus recovery overheads.
+		if pr.Downtime > or.Downtime+outage+10*time.Minute {
+			t.Errorf("outage %v: policy downtime %v vs oracle %v", outage, pr.Downtime, or.Downtime)
+		}
+	}
+}
+
+func TestPolicySimResetsBetweenOutages(t *testing.T) {
+	env := technique.DefaultEnv(16)
+	pol, _ := NewAdaptivePolicy(env, workload.Specjbb(), ups.NewConfig(env.PeakPower(), 20*time.Minute))
+	if _, err := SimulatePolicy(pol, 2*time.Hour, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// After Reset (inside SimulatePolicy), a fresh short outage starts at
+	// full service again.
+	r, err := SimulatePolicy(pol, 30*time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Transitions) == 0 || r.Transitions[0] != ModeFullService {
+		t.Errorf("fresh outage transitions = %v", r.Transitions)
+	}
+}

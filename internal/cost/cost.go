@@ -1,0 +1,169 @@
+// Package cost implements the paper's backup-infrastructure cost model
+// (Section 3, Equations 1-2, Table 1) and the named underprovisioning
+// configurations of Table 3. Costs are amortized annual cap-ex; op-ex is
+// deliberately ignored (outages are rare, so fuel and conversion losses are
+// negligible next to cap-ex, as the paper argues).
+package cost
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/battery"
+	"backuppower/internal/genset"
+	"backuppower/internal/units"
+	"backuppower/internal/ups"
+)
+
+// Backup is a provisioned backup infrastructure: a diesel generator and a
+// UPS fleet, each possibly absent or underprovisioned in power and/or
+// energy. It is the unit the whole framework evaluates.
+type Backup struct {
+	Name string
+	DG   genset.Config
+	UPS  ups.Config
+}
+
+// Validate checks both halves.
+func (b Backup) Validate() error {
+	if err := b.DG.Validate(); err != nil {
+		return err
+	}
+	return b.UPS.Validate()
+}
+
+// AnnualCost is the total amortized cap-ex: DG (Eq. 1) + UPS (Eq. 2).
+func (b Backup) AnnualCost() units.DollarsPerYear {
+	return b.DG.AnnualCost() + b.UPS.AnnualCost()
+}
+
+// NormalizedCost returns this configuration's cost relative to the current
+// datacenter practice (MaxPerf) at the same peak power — the normalization
+// used throughout the paper's tables and figures.
+func (b Backup) NormalizedCost(peak units.Watts) float64 {
+	base := MaxPerf(peak).AnnualCost()
+	if base == 0 {
+		return 0
+	}
+	return float64(b.AnnualCost()) / float64(base)
+}
+
+// String summarizes the configuration.
+func (b Backup) String() string {
+	return fmt.Sprintf("%s{DG %v, UPS %v/%v}", b.Name,
+		b.DG.PowerCapacity, b.UPS.PowerCapacity, b.UPS.Runtime)
+}
+
+// The named configurations of Table 3, each parameterized by the
+// datacenter's peak power draw. Fractions refer to that peak.
+
+// MaxPerf is today's practice: full DG, full-power UPS with the free 2-min
+// transition runtime. Cost baseline (normalized 1.0).
+func MaxPerf(peak units.Watts) Backup {
+	return Backup{Name: "MaxPerf", DG: genset.New(peak), UPS: ups.NewConfig(peak, 2*time.Minute)}
+}
+
+// MinCost provisions nothing (normalized 0).
+func MinCost(peak units.Watts) Backup {
+	return Backup{Name: "MinCost", DG: genset.None(), UPS: ups.None()}
+}
+
+// NoDG keeps the full-power 2-min UPS but removes the generator (0.38).
+func NoDG(peak units.Watts) Backup {
+	return Backup{Name: "NoDG", DG: genset.None(), UPS: ups.NewConfig(peak, 2*time.Minute)}
+}
+
+// NoUPS keeps the full DG but removes the UPS (0.63).
+func NoUPS(peak units.Watts) Backup {
+	return Backup{Name: "NoUPS", DG: genset.New(peak), UPS: ups.None()}
+}
+
+// DGSmallPUPS keeps the DG and halves the UPS power capacity (0.81).
+func DGSmallPUPS(peak units.Watts) Backup {
+	return Backup{Name: "DG-SmallPUPS", DG: genset.New(peak), UPS: ups.NewConfig(peak/2, 2*time.Minute)}
+}
+
+// SmallDGSmallPUPS halves both DG and UPS power (0.50).
+func SmallDGSmallPUPS(peak units.Watts) Backup {
+	return Backup{Name: "SmallDG-SmallPUPS", DG: genset.New(peak / 2), UPS: ups.NewConfig(peak/2, 2*time.Minute)}
+}
+
+// SmallPUPS removes the DG and halves the UPS power (0.19).
+func SmallPUPS(peak units.Watts) Backup {
+	return Backup{Name: "SmallPUPS", DG: genset.None(), UPS: ups.NewConfig(peak/2, 2*time.Minute)}
+}
+
+// LargeEUPS removes the DG and buys 30 minutes of full-power UPS energy
+// (0.55).
+func LargeEUPS(peak units.Watts) Backup {
+	return Backup{Name: "LargeEUPS", DG: genset.None(), UPS: ups.NewConfig(peak, 30*time.Minute)}
+}
+
+// SmallPLargeEUPS removes the DG, halves UPS power, and buys 62 minutes of
+// runtime — trading power for energy at the same cost as NoDG (0.38).
+func SmallPLargeEUPS(peak units.Watts) Backup {
+	return Backup{Name: "SmallP-LargeEUPS", DG: genset.None(), UPS: ups.NewConfig(peak/2, 62*time.Minute)}
+}
+
+// Table3 returns the nine named configurations in the paper's order.
+func Table3(peak units.Watts) []Backup {
+	return []Backup{
+		MaxPerf(peak), MinCost(peak), NoDG(peak), NoUPS(peak),
+		DGSmallPUPS(peak), SmallDGSmallPUPS(peak), SmallPUPS(peak),
+		LargeEUPS(peak), SmallPLargeEUPS(peak),
+	}
+}
+
+// ByName returns the named Table 3 configuration, or false.
+func ByName(name string, peak units.Watts) (Backup, bool) {
+	for _, b := range Table3(peak) {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Backup{}, false
+}
+
+// Custom builds an arbitrary configuration from capacities: DG power, UPS
+// power and UPS runtime at that power.
+func Custom(name string, dgPower, upsPower units.Watts, upsRuntime time.Duration) Backup {
+	return Backup{Name: name, DG: genset.New(dgPower), UPS: ups.NewConfig(upsPower, upsRuntime)}
+}
+
+// CustomTech is Custom with an explicit battery chemistry (Section 7's
+// "newer battery technologies" discussion).
+func CustomTech(name string, dgPower, upsPower units.Watts, upsRuntime time.Duration, tech battery.Technology) Backup {
+	u := ups.NewConfig(upsPower, upsRuntime)
+	u.Tech = tech
+	if upsPower > 0 && upsRuntime < tech.FreeRunTime {
+		u.Runtime = tech.FreeRunTime
+	} else if upsPower > 0 {
+		u.Runtime = upsRuntime
+	}
+	return Backup{Name: name, DG: genset.New(dgPower), UPS: u}
+}
+
+// Breakdown itemizes a configuration's annual cost.
+type Breakdown struct {
+	Config    string
+	DG        units.DollarsPerYear
+	UPSPower  units.DollarsPerYear
+	UPSEnergy units.DollarsPerYear
+	Total     units.DollarsPerYear
+}
+
+// Itemize computes the cost breakdown for a configuration.
+func Itemize(b Backup) Breakdown {
+	var upsPower, upsEnergy units.DollarsPerYear
+	if b.UPS.Provisioned() {
+		upsPower = units.DollarsPerYear(b.UPS.Tech.PowerCostPerKWYear * b.UPS.PowerCapacity.KW())
+		upsEnergy = b.UPS.AnnualCost() - upsPower
+	}
+	return Breakdown{
+		Config:    b.Name,
+		DG:        b.DG.AnnualCost(),
+		UPSPower:  upsPower,
+		UPSEnergy: upsEnergy,
+		Total:     b.AnnualCost(),
+	}
+}

@@ -1,0 +1,134 @@
+package cost
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/units"
+)
+
+func TestTable2Rows(t *testing.T) {
+	// Row 1: 1 MW, 2 min -> DG 0.08M, UPS 0.05M, total 0.13M.
+	b := MaxPerf(units.Megawatt)
+	if got := float64(b.DG.AnnualCost()); !units.AlmostEqual(got, 83300, 1e-9) {
+		t.Errorf("1MW DG = %v", got)
+	}
+	if got := float64(b.UPS.AnnualCost()); !units.AlmostEqual(got, 50000, 1e-9) {
+		t.Errorf("1MW UPS = %v", got)
+	}
+	if got := float64(b.AnnualCost()); !units.AlmostEqual(got, 133300, 1e-9) {
+		t.Errorf("1MW total = %v", got)
+	}
+	// Row 2: 10 MW, 2 min -> 1.33M total (paper prints 1.34 from rounding).
+	b10 := MaxPerf(10 * units.Megawatt)
+	if got := float64(b10.AnnualCost()); !units.AlmostEqual(got, 1333000, 1e-6) {
+		t.Errorf("10MW total = %v", got)
+	}
+	// Row 3: 10 MW with 42-min UPS -> 1.666M total.
+	b42 := Custom("x", 10*units.Megawatt, 10*units.Megawatt, 42*time.Minute)
+	if got := float64(b42.AnnualCost()); !units.AlmostEqual(got, 1666333, 0.001) {
+		t.Errorf("10MW/42min total = %v", got)
+	}
+	// Paper observation (ii): a 21x energy increase costs only ~24% more.
+	ratio := float64(b42.AnnualCost()) / float64(b10.AnnualCost())
+	if ratio < 1.2 || ratio > 1.3 {
+		t.Errorf("42min/2min cost ratio = %v, want ~1.25", ratio)
+	}
+}
+
+func TestTable3NormalizedCosts(t *testing.T) {
+	peak := units.Megawatt
+	want := map[string]float64{
+		"MaxPerf":           1.00,
+		"MinCost":           0.00,
+		"NoDG":              0.38,
+		"NoUPS":             0.63,
+		"DG-SmallPUPS":      0.81,
+		"SmallDG-SmallPUPS": 0.50,
+		"SmallPUPS":         0.19,
+		"LargeEUPS":         0.55,
+		"SmallP-LargeEUPS":  0.38,
+	}
+	configs := Table3(peak)
+	if len(configs) != len(want) {
+		t.Fatalf("Table3 has %d configs, want %d", len(configs), len(want))
+	}
+	for _, b := range configs {
+		w, ok := want[b.Name]
+		if !ok {
+			t.Errorf("unexpected config %q", b.Name)
+			continue
+		}
+		got := b.NormalizedCost(peak)
+		if !units.AlmostEqual(got, w, 0.013) { // paper rounds to 2 decimals
+			t.Errorf("%s normalized cost = %.4f, want %.2f", b.Name, got, w)
+		}
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", b.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, ok := ByName("LargeEUPS", units.Megawatt)
+	if !ok || b.UPS.Runtime != 30*time.Minute {
+		t.Errorf("ByName LargeEUPS = %+v ok=%v", b, ok)
+	}
+	if _, ok := ByName("nope", units.Megawatt); ok {
+		t.Error("unknown name should miss")
+	}
+}
+
+func TestNormalizedCostZeroPeak(t *testing.T) {
+	if got := MinCost(0).NormalizedCost(0); got != 0 {
+		t.Errorf("zero peak normalized = %v", got)
+	}
+}
+
+func TestItemize(t *testing.T) {
+	b := Custom("x", 10*units.Megawatt, 10*units.Megawatt, 42*time.Minute)
+	bd := Itemize(b)
+	if !units.AlmostEqual(float64(bd.DG), 833000, 1e-9) {
+		t.Errorf("DG = %v", bd.DG)
+	}
+	if !units.AlmostEqual(float64(bd.UPSPower), 500000, 1e-9) {
+		t.Errorf("UPSPower = %v", bd.UPSPower)
+	}
+	if !units.AlmostEqual(float64(bd.UPSEnergy), 333333, 0.001) {
+		t.Errorf("UPSEnergy = %v", bd.UPSEnergy)
+	}
+	if !units.AlmostEqual(float64(bd.Total), float64(bd.DG+bd.UPSPower+bd.UPSEnergy), 1e-9) {
+		t.Errorf("total != sum of parts")
+	}
+	// MinCost itemizes to all zeros.
+	z := Itemize(MinCost(units.Megawatt))
+	if z.DG != 0 || z.UPSPower != 0 || z.UPSEnergy != 0 || z.Total != 0 {
+		t.Errorf("MinCost breakdown = %+v", z)
+	}
+}
+
+func TestCostScalesLinearlyWithPeak(t *testing.T) {
+	small := MaxPerf(units.Megawatt).AnnualCost()
+	big := MaxPerf(10 * units.Megawatt).AnnualCost()
+	if !units.AlmostEqual(float64(big), 10*float64(small), 1e-9) {
+		t.Errorf("cost not linear in peak: %v vs 10x %v", big, small)
+	}
+}
+
+func TestSmallPLargeEUPSMatchesNoDGCost(t *testing.T) {
+	// The paper's headline trade: same cost as NoDG, power halved for
+	// 62 minutes of runtime.
+	peak := units.Megawatt
+	a := NoDG(peak).AnnualCost()
+	b := SmallPLargeEUPS(peak).AnnualCost()
+	if !units.AlmostEqual(float64(a), float64(b), 0.02) {
+		t.Errorf("NoDG %v vs SmallP-LargeEUPS %v should match within 2%%", a, b)
+	}
+}
+
+func TestBackupString(t *testing.T) {
+	s := MaxPerf(units.Megawatt).String()
+	if s == "" {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/availability"
+	"backuppower/internal/battery"
+	"backuppower/internal/core"
+	"backuppower/internal/cost"
+	"backuppower/internal/genset"
+	"backuppower/internal/geo"
+	"backuppower/internal/loadprofile"
+	"backuppower/internal/portfolio"
+	"backuppower/internal/report"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/ups"
+	"backuppower/internal/workload"
+)
+
+// ExtAvailability runs the yearly Monte-Carlo across the headline
+// configurations: the operator's decision table combining Figures 1, 5 and
+// 10 (availability, downtime, revenue loss vs DG savings).
+func ExtAvailability() report.Table {
+	t := report.Table{
+		Title: "Extension: yearly availability per configuration (SPECjbb, 25 years)",
+		Columns: []string{"configuration", "cost", "downtime/yr", "nines",
+			"state losses/yr", "loss $/KW/yr", "beats DG savings"},
+	}
+	f := framework()
+	peak := f.Env.PeakPower()
+	configs := []cost.Backup{
+		cost.MaxPerf(peak), cost.DGSmallPUPS(peak), cost.LargeEUPS(peak),
+		cost.NoDG(peak), cost.SmallPLargeEUPS(peak), cost.MinCost(peak),
+	}
+	sums, err := availability.CompareConfigs(f, workload.Specjbb(), configs, 25, 2014)
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	for _, s := range sums {
+		profitable := "-"
+		if s.Config != "MaxPerf" && s.Config != "DG-SmallPUPS" {
+			// DG-less configs: compare the priced loss against the DG
+			// savings (Figure 10's test applied per configuration).
+			profitable = fmt.Sprintf("%v", s.RevenueLossPerKWYear < s.DGSavingsPerKWYear)
+		}
+		t.AddRow(s.Config, s.NormCost, s.MeanDowntime,
+			fmt.Sprintf("%.1f", s.Nines),
+			fmt.Sprintf("%.2f", s.MeanStateLossesYear),
+			fmt.Sprintf("%.1f", s.RevenueLossPerKWYear), profitable)
+	}
+	t.Notes = append(t.Notes,
+		"per-outage technique selection follows the Figure 5 rule; traces share one seed across configurations")
+	return t
+}
+
+// ExtNVDIMM quantifies the §7 NVDIMM enhancement: persistence without
+// backup power, and NVDIMM+Throttle's ability to run the battery to
+// exhaustion safely.
+func ExtNVDIMM() report.Table {
+	t := report.Table{
+		Title:   "Extension: NVDIMM (§7) — SPECjbb",
+		Columns: []string{"technique", "outage", "cost", "perf", "downtime", "state safe"},
+	}
+	f := framework()
+	w := workload.Specjbb()
+	for _, d := range []time.Duration{30 * time.Second, 30 * time.Minute, 2 * time.Hour} {
+		for _, tech := range []technique.Technique{
+			technique.NVDIMM{},
+			technique.NVDIMMThrottle{PState: 6},
+			technique.Hibernate{}, // the save-state technique NVDIMM replaces
+		} {
+			op, ok := f.MinCostUPS(tech, w, d)
+			if !ok {
+				t.AddRow(tech.Name(), d, "infeasible", "-", "-", "-")
+				continue
+			}
+			t.AddRow(tech.Name(), d, op.NormCost, op.Result.Perf,
+				report.DurationBand(op.Result.DowntimeMin, op.Result.DowntimeMax),
+				fmt.Sprintf("%v", op.Result.Survived))
+		}
+	}
+	// NVDIMM+Throttle's distinguishing property: under a FIXED budget it
+	// serves as long as the battery lasts and then goes dark with no
+	// state loss — something no non-NVDIMM sustain technique can do.
+	for _, b := range []cost.Backup{cost.SmallPUPS(f.Env.PeakPower()), cost.NoDG(f.Env.PeakPower()), cost.LargeEUPS(f.Env.PeakPower())} {
+		res, err := f.Evaluate(b, technique.NVDIMMThrottle{PState: 6}, w, 2*time.Hour)
+		if err != nil {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("NVDIMM+Throttle@%s", b.Name), 2*time.Hour,
+			b.NormalizedCost(f.Env.PeakPower()), res.Perf,
+			report.DurationBand(res.DowntimeMin, res.DowntimeMax),
+			fmt.Sprintf("%v", res.Survived))
+	}
+	t.Notes = append(t.Notes,
+		"NVDIMM needs zero backup (cost 0); NVDIMM+Throttle serves until the battery dies without state risk",
+		"fixed-budget rows: safe exhaustion trades service time for cost with no crash penalty")
+	return t
+}
+
+// ExtGeoFailover quantifies request redirection to a geo-replicated site
+// for the very long outages the paper says DG-less datacenters should not
+// try to ride locally.
+func ExtGeoFailover() report.Table {
+	t := report.Table{
+		Title:   "Extension: geo-failover for very long outages (Web-search)",
+		Columns: []string{"technique", "outage", "cost", "perf", "downtime"},
+	}
+	f := framework()
+	w := workload.WebSearch()
+	for _, d := range []time.Duration{2 * time.Hour, 6 * time.Hour} {
+		for _, tech := range []technique.Technique{
+			technique.GeoFailover{Save: technique.SaveHibernate},
+			technique.GeoFailover{Save: technique.SaveSleep},
+			technique.ThrottleThenSave{PState: 6, Save: technique.SaveSleep, ActiveFraction: 0.1},
+		} {
+			op, ok := f.MinCostUPS(tech, w, d)
+			if !ok {
+				t.AddRow(tech.Name(), d, "infeasible", "-", "-")
+				continue
+			}
+			t.AddRow(tech.Name(), d, op.NormCost, op.Result.Perf,
+				report.DurationBand(op.Result.DowntimeMin, op.Result.DowntimeMax))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"remote serving holds ~0.7 perf for the entire outage at a bounded local backup cost")
+	return t
+}
+
+// ExtBarelyAlive quantifies the RDMA-over-sleep idea against plain sleep.
+func ExtBarelyAlive() report.Table {
+	t := report.Table{
+		Title:   "Extension: barely-alive (RDMA over sleep) — Memcached, 1h outage",
+		Columns: []string{"technique", "cost", "perf", "downtime"},
+	}
+	f := framework()
+	w := workload.Memcached()
+	for _, tech := range []technique.Technique{
+		technique.Sleep{LowPower: true},
+		technique.BarelyAlive{},
+		technique.BarelyAlive{ServedPerf: 0.2, ExtraPower: 35},
+	} {
+		op, ok := f.MinCostUPS(tech, w, time.Hour)
+		if !ok {
+			t.AddRow(tech.Name(), "infeasible", "-", "-")
+			continue
+		}
+		t.AddRow(tech.Name(), op.NormCost, op.Result.Perf, op.Result.Downtime)
+	}
+	t.Notes = append(t.Notes,
+		"a few extra watts per server buy a read-serving sliver where sleep serves nothing")
+	return t
+}
+
+// ExtLiIonSizing re-runs the technique sizing under Li-ion economics
+// (§7: pricier energy favors save-state over sustain-execution).
+func ExtLiIonSizing() report.Table {
+	t := report.Table{
+		Title:   "Extension: Li-ion vs lead-acid sizing (SPECjbb, 1h outage)",
+		Columns: []string{"technique", "lead-acid cost", "li-ion cost", "shift"},
+	}
+	la := framework()
+	li := framework()
+	li.Battery = battery.LiIon()
+	w := workload.Specjbb()
+	for _, tech := range []technique.Technique{
+		technique.Throttling{PState: 6},
+		technique.Sleep{LowPower: true},
+		technique.Hibernate{Proactive: true},
+		technique.ThrottleThenSave{PState: 6, Save: technique.SaveSleep, ActiveFraction: 0.25},
+	} {
+		a, okA := la.MinCostUPS(tech, w, time.Hour)
+		b, okB := li.MinCostUPS(tech, w, time.Hour)
+		if !okA || !okB {
+			t.AddRow(tech.Name(), "-", "-", "-")
+			continue
+		}
+		t.AddRow(tech.Name(),
+			fmt.Sprintf("%.2f", a.NormCost), fmt.Sprintf("%.2f", b.NormCost),
+			fmt.Sprintf("%+.0f%%", (b.NormCost/a.NormCost-1)*100))
+	}
+	t.Notes = append(t.Notes,
+		"costs normalized to the lead-acid MaxPerf baseline; energy-hungry techniques shift most")
+	return t
+}
+
+// ExtGeoFleet prices §7's geo-replication caveat: failover only works if
+// spare capacity was set aside, and the spare capacity IS a cost. The table
+// shows the service level after one site failure across fleet utilizations,
+// and a sampled year of decorrelated site outages.
+func ExtGeoFleet() report.Table {
+	t := report.Table{
+		Title: "Extension: geo-replicated fleet failover (§7)",
+		Columns: []string{"sites", "utilization", "needed headroom",
+			"level after 1 loss", "degraded time/yr", "worst level/yr"},
+	}
+	for _, n := range []int{3, 4, 6} {
+		for _, util := range []float64{0.60, 0.75, 0.90} {
+			f, err := geo.Uniform(n, util, 0.3, 2014)
+			if err != nil {
+				continue
+			}
+			rep, err := f.SimulateYear(1)
+			if err != nil {
+				continue
+			}
+			t.AddRow(n, fmt.Sprintf("%.0f%%", util*100),
+				fmt.Sprintf("%.0f%%", geo.RequiredHeadroom(n, 1)*100),
+				fmt.Sprintf("%.2f", f.FailoverLevel(1)),
+				rep.DegradedTime, fmt.Sprintf("%.2f", rep.WorstLevel))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"a fleet needs 1/N headroom to absorb one site; packed fleets shed traffic — the §7 caveat priced",
+		"combining a small local UPS (short outages) with failover (long ones) avoids paying for both in full")
+	return t
+}
+
+// ExtWear contrasts backup duty against peak-shaving duty on battery
+// aging — Section 2's claim that wear "is less important" for backup.
+func ExtWear() report.Table {
+	t := report.Table{
+		Title:   "Extension: battery wear — backup vs peak-shaving duty",
+		Columns: []string{"chemistry", "duty", "cycles/yr", "DoD", "life (years)", "cost multiplier"},
+	}
+	type duty struct {
+		name   string
+		cycles float64
+		dod    float64
+	}
+	bc, bd := battery.BackupDuty()
+	pc, pd := battery.PeakShavingDuty()
+	duties := []duty{
+		{"backup (Fig 1 outages)", bc, bd},
+		{"peak shaving (daily)", pc, pd},
+	}
+	for _, chem := range []struct {
+		name string
+		w    battery.WearModel
+	}{{"lead-acid", battery.LeadAcidWear()}, {"li-ion", battery.LiIonWear()}} {
+		for _, d := range duties {
+			t.AddRow(chem.name, d.name, fmt.Sprintf("%.0f", d.cycles), fmt.Sprintf("%.0f%%", d.dod*100),
+				fmt.Sprintf("%.1f", chem.w.LifeYears(d.cycles, d.dod)),
+				fmt.Sprintf("%.2fx", chem.w.CostMultiplier(d.cycles, d.dod)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"backup duty is calendar-dominated (multiplier ~1.0): Table 1's 4-year amortization needs no wear correction")
+	return t
+}
+
+// ExtUPSTopology quantifies §3's online-vs-offline remark: the normal-
+// operation conversion tax that makes datacenters deploy offline UPSes.
+func ExtUPSTopology() report.Table {
+	t := report.Table{
+		Title:   "Extension: online vs offline UPS (1 MW rating, 80% load, $0.07/KWh)",
+		Columns: []string{"design", "normal-op loss", "loss $/yr", "vs UPS cap-ex"},
+	}
+	load, capW := 800*units.Kilowatt, units.Megawatt
+	capex := float64(ups.NewConfig(capW, 2*time.Minute).AnnualCost())
+	for _, d := range []ups.Design{ups.Offline, ups.Online} {
+		e := ups.DefaultElectrical(d)
+		loss := e.NormalLoss(load, capW)
+		cost := float64(e.AnnualNormalLossCost(load, capW, 0.07))
+		t.AddRow(d.String(), loss, fmt.Sprintf("%.0f", cost),
+			fmt.Sprintf("%.0f%%", cost/capex*100))
+	}
+	t.Notes = append(t.Notes,
+		"double conversion costs more per year than the offline UPS's entire power-electronics cap-ex")
+	return t
+}
+
+// ExtPolicy quantifies §7's first challenge — handling UNKNOWN outage
+// durations — by racing the online adaptive policy (Markov predictor +
+// escalation ladder) against the oracle that knew each duration.
+func ExtPolicy() report.Table {
+	t := report.Table{
+		Title:   "Extension: adaptive policy vs duration oracle (SPECjbb, LargeEUPS)",
+		Columns: []string{"outage", "who", "perf", "downtime", "survived", "modes"},
+	}
+	f := framework()
+	b := cost.LargeEUPS(f.Env.PeakPower())
+	for _, d := range []time.Duration{30 * time.Second, 5 * time.Minute, 30 * time.Minute, 2 * time.Hour} {
+		pr, or, err := f.PolicyVsOracle(b, workload.Specjbb(), d, 30*time.Second)
+		if err != nil {
+			t.Notes = append(t.Notes, "failed: "+err.Error())
+			return t
+		}
+		modes := ""
+		for i, m := range pr.Transitions {
+			if i > 0 {
+				modes += "→"
+			}
+			modes += m.String()
+		}
+		t.AddRow(d, "policy", pr.Perf, pr.Downtime, fmt.Sprintf("%v", pr.Survived), modes)
+		t.AddRow(d, "oracle", or.Perf, or.Downtime, fmt.Sprintf("%v", or.Survived), or.Technique)
+	}
+	t.Notes = append(t.Notes,
+		"the policy sees only elapsed time and charge; the oracle picks the best technique knowing the duration",
+		"the escalation matches §7's sketch (throttle early, sleep past ~4 min); the gap vs the oracle is the price of unknown durations")
+	return t
+}
+
+// ExtOpEx checks the paper's Section 3 assumption that DG op-ex is
+// negligible against cap-ex, across yearly outage exposure.
+func ExtOpEx() report.Table {
+	t := report.Table{
+		Title:   "Extension: DG op-ex vs cap-ex (10 MW datacenter)",
+		Columns: []string{"outage/yr", "fuel+maint $/yr", "cap-ex $/yr", "op-ex share", "negligible (<15%)"},
+	}
+	f := genset.DefaultFuel()
+	c := genset.New(10 * units.Megawatt)
+	capex := c.AnnualCost()
+	for _, per := range []time.Duration{0, 90 * time.Minute, 5 * time.Hour, 24 * time.Hour, 30 * 24 * time.Hour} {
+		opex := f.AnnualOpEx(c, 10*units.Megawatt, per)
+		share := float64(opex) / float64(capex)
+		t.AddRow(per, opex, capex, fmt.Sprintf("%.1f%%", share*100),
+			fmt.Sprintf("%v", f.OpExNegligible(c, 10*units.Megawatt, per, 0.15)))
+	}
+	t.Notes = append(t.Notes,
+		"the paper's negligibility claim holds for realistic outage exposure; a month of outage per year breaks it")
+	return t
+}
+
+// ExtPortfolio designs a heterogeneous datacenter (§7's second challenge):
+// per-application sections with individually sized backups, against the
+// all-MaxPerf alternative.
+func ExtPortfolio() report.Table {
+	t := report.Table{
+		Title: "Extension: heterogeneous portfolio design (§7)",
+		Columns: []string{"workload", "servers", "technique", "backup",
+			"$/yr", "perf", "downtime"},
+	}
+	p := portfolio.NewPlanner(framework())
+	reqs := []portfolio.Requirement{
+		{Workload: workload.WebSearch(), Servers: 64, SLA: portfolio.SLA{
+			Outage: 10 * time.Minute, MinPerf: 0.4, MaxDowntime: time.Minute,
+		}},
+		{Workload: workload.Memcached(), Servers: 32, SLA: portfolio.SLA{
+			Outage: 10 * time.Minute, MinPerf: 0.3, MaxDowntime: 5 * time.Minute,
+		}},
+		{Workload: workload.Specjbb(), Servers: 32, SLA: portfolio.SLA{
+			Outage: 10 * time.Minute, MinPerf: 0, MaxDowntime: 15 * time.Minute,
+			RequireStateSafety: true,
+		}},
+		{Workload: workload.SpecCPU(), Servers: 128, SLA: portfolio.SLA{
+			Outage: 30 * time.Minute, MinPerf: 0, MaxDowntime: 2 * time.Hour,
+		}},
+	}
+	plan, err := p.Design(reqs)
+	if err != nil {
+		t.Notes = append(t.Notes, "design failed: "+err.Error())
+		return t
+	}
+	for _, s := range plan.Sections {
+		t.AddRow(s.Workload, s.Servers, s.Technique, s.Backup.Name,
+			s.AnnualCost, s.Perf, s.Downtime)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"total %v vs all-MaxPerf %v: %.0f%% savings",
+		plan.TotalCost, plan.MaxPerfCost, plan.Savings()*100))
+	return t
+}
+
+// ExtCheckpoint sweeps the HPC checkpoint interval: crash recovery drops
+// from "recompute the whole run" to "recompute one interval" (§6's
+// checkpointing aside), which changes whether MinCost is tolerable for
+// batch work.
+func ExtCheckpoint() report.Table {
+	t := report.Table{
+		Title:   "Extension: HPC checkpoint interval vs crash downtime (30s outage, MinCost)",
+		Columns: []string{"checkpoint interval", "downtime min", "downtime max", "downtime mid"},
+	}
+	f := framework()
+	peak := f.Env.PeakPower()
+	for _, iv := range []time.Duration{0, 30 * time.Minute, 10 * time.Minute, time.Minute} {
+		w := workload.CheckpointedSpecCPU(iv)
+		res, err := f.Evaluate(cost.MinCost(peak), technique.Baseline{}, w, 30*time.Second)
+		if err != nil {
+			continue
+		}
+		label := "none (2h run)"
+		if iv > 0 {
+			label = report.FormatDuration(iv)
+		}
+		t.AddRow(label, res.DowntimeMin, res.DowntimeMax, res.Downtime)
+	}
+	t.Notes = append(t.Notes,
+		"tighter checkpoints bound the recompute tail; the floor is restart + reload")
+	return t
+}
+
+// ExtDiurnal contrasts the paper's steady near-peak assumption against a
+// diurnal load profile in the yearly availability Monte-Carlo: outages
+// landing at the trough are easier to ride on a small battery.
+func ExtDiurnal() report.Table {
+	t := report.Table{
+		Title:   "Extension: diurnal load vs steady peak (NoDG, SPECjbb, 25 years)",
+		Columns: []string{"load profile", "downtime/yr", "state losses/yr", "service loss/yr"},
+	}
+	f := framework()
+	b := cost.NoDG(f.Env.PeakPower())
+	run := func(name string, prof loadprofile.Profile) {
+		p := &availability.Planner{Framework: f, Workload: workload.Specjbb(), Backup: b, Load: prof}
+		sum, _, err := p.SimulateYears(25, 2014)
+		if err != nil {
+			t.Notes = append(t.Notes, name+" failed: "+err.Error())
+			return
+		}
+		t.AddRow(name, sum.MeanDowntime,
+			fmt.Sprintf("%.2f", sum.MeanStateLossesYear), sum.MeanServiceLoss)
+	}
+	run("steady peak", nil)
+	run("diurnal (45-100%, weekend dip)", loadprofile.Typical())
+	t.Notes = append(t.Notes,
+		"identical outage traces; only the utilization at outage time differs")
+	return t
+}
+
+// ExtPlacement runs the FreeRunTime sensitivity the companion tech report
+// covers: server-level batteries come with a smaller free base runtime, so
+// the 'free bridge' shrinks and short-outage costs rise.
+func ExtPlacement() report.Table {
+	t := report.Table{
+		Title:   "Extension: UPS placement / free-runtime sensitivity (NoDG cost)",
+		Columns: []string{"free runtime", "NoDG normalized cost", "42-min pack cost"},
+	}
+	peak := core.New(DefaultServers).Env.PeakPower()
+	base := cost.MaxPerf(peak).AnnualCost()
+	for _, free := range []time.Duration{30 * time.Second, time.Minute, 2 * time.Minute, 4 * time.Minute} {
+		tech := battery.LeadAcid()
+		tech.FreeRunTime = free
+		nodg := cost.CustomTech("NoDG", 0, peak, 2*time.Minute, tech)
+		pack := cost.CustomTech("pack", 0, peak, 42*time.Minute, tech)
+		t.AddRow(free,
+			fmt.Sprintf("%.3f", float64(nodg.AnnualCost())/float64(base)),
+			fmt.Sprintf("%.3f", float64(pack.AnnualCost())/float64(base)))
+	}
+	t.Notes = append(t.Notes,
+		"rack-level placement (2-min free) is the paper's default; smaller free runtimes charge for the DG bridge")
+	return t
+}

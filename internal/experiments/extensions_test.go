@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtAvailabilityTable(t *testing.T) {
+	tb := ExtAvailability()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	out := tb.String()
+	for _, want := range []string{"MaxPerf", "MinCost", "nines"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// MaxPerf must show zero downtime; MinCost must not.
+	for _, row := range tb.Rows {
+		if row[0] == "MaxPerf" && row[2] != "0" {
+			t.Errorf("MaxPerf downtime/yr = %q", row[2])
+		}
+		if row[0] == "MinCost" && row[2] == "0" {
+			t.Error("MinCost downtime/yr should be nonzero")
+		}
+	}
+}
+
+func TestExtNVDIMMTable(t *testing.T) {
+	tb := ExtNVDIMM()
+	out := tb.String()
+	if !strings.Contains(out, "NVDIMM") || !strings.Contains(out, "Hibernate") {
+		t.Fatalf("incomplete:\n%s", out)
+	}
+	// NVDIMM rows cost 0.00 at every duration.
+	for _, row := range tb.Rows {
+		if row[0] == "NVDIMM" && row[2] != "0.00" {
+			t.Errorf("NVDIMM cost = %q, want 0.00", row[2])
+		}
+	}
+}
+
+func TestExtGeoFailoverTable(t *testing.T) {
+	tb := ExtGeoFailover()
+	out := tb.String()
+	if !strings.Contains(out, "GeoFailover") {
+		t.Fatalf("incomplete:\n%s", out)
+	}
+	// Geo-failover sustains ~0.7 perf even at 6h.
+	found := false
+	for _, row := range tb.Rows {
+		if row[0] == "GeoFailover" && strings.HasPrefix(row[3], "0.6") {
+			found = true
+		}
+		if row[0] == "GeoFailover" && strings.HasPrefix(row[3], "0.7") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no high-perf geo rows:\n%s", out)
+	}
+}
+
+func TestExtBarelyAliveTable(t *testing.T) {
+	tb := ExtBarelyAlive()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Sleep-L row perf 0; BarelyAlive rows > 0.
+	if tb.Rows[0][2] != "0.00" {
+		t.Errorf("sleep perf = %q", tb.Rows[0][2])
+	}
+	if tb.Rows[1][2] == "0.00" {
+		t.Error("barely-alive perf should be positive")
+	}
+}
+
+func TestExtLiIonSizingTable(t *testing.T) {
+	tb := ExtLiIonSizing()
+	out := tb.String()
+	if !strings.Contains(out, "Throttling") || !strings.Contains(out, "%") {
+		t.Fatalf("incomplete:\n%s", out)
+	}
+}
+
+func TestExtPlacementTable(t *testing.T) {
+	tb := ExtPlacement()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Smaller free runtime -> higher NoDG cost (strictly decreasing down
+	// the table, which is ordered by growing free runtime).
+	prev := ""
+	for _, row := range tb.Rows {
+		if prev != "" && row[1] > prev {
+			t.Errorf("NoDG cost should shrink with free runtime: %q then %q", prev, row[1])
+		}
+		prev = row[1]
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/cost"
+	"backuppower/internal/report"
+	"backuppower/internal/tco"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// fig5Durations are the outage durations of Figure 5.
+var fig5Durations = []time.Duration{
+	30 * time.Second, 5 * time.Minute, 30 * time.Minute, time.Hour, 2 * time.Hour,
+}
+
+// fig5Configs are the six configurations Figure 5 plots.
+func fig5Configs(peak units.Watts) []cost.Backup {
+	return []cost.Backup{
+		cost.MaxPerf(peak), cost.DGSmallPUPS(peak), cost.LargeEUPS(peak),
+		cost.NoDG(peak), cost.SmallPLargeEUPS(peak), cost.MinCost(peak),
+	}
+}
+
+// Fig5 reproduces the configuration trade-off study for SPECjbb: for every
+// configuration and outage duration, the best technique's performance and
+// down time (Figure 5's selection rule), plus the configuration cost.
+func Fig5() report.Table {
+	t := report.Table{
+		Title:   "Figure 5: cost/performance/downtime of configurations (SPECjbb)",
+		Columns: []string{"configuration", "cost", "outage", "best technique", "perf", "downtime"},
+	}
+	f := framework()
+	w := workload.Specjbb()
+	for _, b := range fig5Configs(f.Env.PeakPower()) {
+		for _, d := range fig5Durations {
+			res, tech := f.BestForConfig(b, w, d)
+			name := "-"
+			if tech != nil {
+				name = tech.Name()
+			}
+			t.AddRow(b.Name, b.NormalizedCost(f.Env.PeakPower()), d, name,
+				res.Perf, report.DurationBand(res.DowntimeMin, res.DowntimeMax))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: LargeEUPS matches MaxPerf perf to 30m at 0.55 cost; NoDG dies past ~2m; MinCost ~400s down even for 30s")
+	return t
+}
+
+// figTechniques renders the Figures 6-9 layout for one workload: for each
+// outage duration and technique family, the min-cost operating band.
+func figTechniques(title string, w workload.Spec, durations []time.Duration) report.Table {
+	t := report.Table{
+		Title:   title,
+		Columns: []string{"outage", "technique", "cost", "perf", "downtime"},
+	}
+	f := framework()
+	for _, d := range durations {
+		for _, s := range f.EvaluateTechniques(w, d) {
+			if !s.Feasible {
+				t.AddRow(d, s.Technique, "infeasible", "-", "-")
+				continue
+			}
+			t.AddRow(d, s.Technique,
+				report.Band(s.Cost.Min, s.Cost.Max),
+				report.Band(s.Perf.Min, s.Perf.Max),
+				report.DurationBand(s.Downtime.Min, s.Downtime.Max))
+		}
+	}
+	return t
+}
+
+// Fig6 reproduces the SPECjbb technique study across five durations.
+func Fig6() report.Table {
+	t := figTechniques("Figure 6: outage duration impact on techniques (SPECjbb)",
+		workload.Specjbb(), fig5Durations)
+	t.Notes = append(t.Notes,
+		"paper: throttling best for short outages; Throttle+Sleep-L for medium; sustain-execution infeasible below ~0.56 cost at 2h")
+	return t
+}
+
+// Fig7 reproduces the Memcached study (short/medium/long).
+func Fig7() report.Table {
+	t := figTechniques("Figure 7: trade-offs for Memcached",
+		workload.Memcached(), []time.Duration{30 * time.Second, 30 * time.Minute, 2 * time.Hour})
+	t.Notes = append(t.Notes,
+		"paper: hibernation (1140s) worse than crash+reload (480s); throttling perf better than SPECjbb; proactive migration ~20% extra savings")
+	return t
+}
+
+// Fig8 reproduces the Web-search study.
+func Fig8() report.Table {
+	t := figTechniques("Figure 8: trade-offs for Web-search",
+		workload.WebSearch(), []time.Duration{30 * time.Second, 30 * time.Minute, 2 * time.Hour})
+	t.Notes = append(t.Notes,
+		"paper: losing memory hurts (600s down for MinCost vs 400s for hibernation)")
+	return t
+}
+
+// Fig9 reproduces the SpecCPU study.
+func Fig9() report.Table {
+	t := figTechniques("Figure 9: trade-offs for SpecCPU (mcf x 8)",
+		workload.SpecCPU(), []time.Duration{30 * time.Second, 30 * time.Minute, 2 * time.Hour})
+	t.Notes = append(t.Notes,
+		"paper: crash downtime spans a large range depending on where in the run the outage hits")
+	return t
+}
+
+// Fig10 reproduces the TCO cross-over analysis.
+func Fig10() report.Table {
+	t := report.Table{
+		Title:   "Figure 10: revenue loss vs DG savings (Google 2011)",
+		Columns: []string{"yearly outage", "loss $/KW/yr", "DG savings $/KW/yr", "profitable"},
+	}
+	a, err := tco.NewAnalysis(tco.DefaultGoogle2011(), 83.3)
+	if err != nil {
+		t.Notes = append(t.Notes, "analysis failed: "+err.Error())
+		return t
+	}
+	for _, p := range a.Series(8*time.Hour, time.Hour) {
+		t.AddRow(p.PerYear, fmt.Sprintf("%.1f", p.Loss), fmt.Sprintf("%.1f", p.Savings),
+			fmt.Sprintf("%v", p.Profitab))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("cross-over at %s/year (paper: ~5 hours)", report.FormatDuration(a.Crossover())))
+	return t
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/core"
+	"backuppower/internal/report"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// MemSize reproduces §6.2's "Impact of Application Memory Usage" study
+// (described in prose; detailed in the companion tech report): SPECjbb's
+// state size is varied and each technique family re-evaluated. Smaller
+// state shrinks hibernate/migrate times; sleep is unaffected.
+func MemSize() report.Table {
+	t := report.Table{
+		Title:   "Section 6.2: SPECjbb memory-usage sensitivity (30 min outage)",
+		Columns: []string{"state size", "technique", "cost", "perf", "downtime"},
+	}
+	f := framework()
+	for _, gb := range []int{4, 9, 18} {
+		w := specjbbWithFootprint(gb)
+		for _, tech := range []technique.Technique{
+			technique.Hibernate{},
+			technique.Sleep{LowPower: true},
+			technique.Migration{},
+			technique.Throttling{PState: 6},
+		} {
+			op, ok := f.MinCostUPS(tech, w, 30*time.Minute)
+			if !ok {
+				t.AddRow(fmt.Sprintf("%d GiB", gb), tech.Name(), "infeasible", "-", "-")
+				continue
+			}
+			t.AddRow(fmt.Sprintf("%d GiB", gb), tech.Name(),
+				op.NormCost, op.Result.Perf,
+				report.DurationBand(op.Result.DowntimeMin, op.Result.DowntimeMax))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: smaller state cuts hibernation downtime and migration time; sleep is size-independent")
+	return t
+}
+
+// specjbbWithFootprint scales the SPECjbb model to a different state size,
+// keeping the working-set and image proportions.
+func specjbbWithFootprint(gb int) workload.Spec {
+	w := workload.Specjbb()
+	scale := float64(gb) / w.Memory.Footprint.GiB()
+	w.Name = fmt.Sprintf("specjbb-%dg", gb)
+	w.Memory.Footprint = units.Bytes(float64(w.Memory.Footprint) * scale)
+	w.Memory.WorkingSet = units.Bytes(float64(w.Memory.WorkingSet) * scale)
+	w.VMImage = units.Bytes(float64(w.VMImage) * scale)
+	w.Hibernate.Image = units.Bytes(float64(w.Hibernate.Image) * scale)
+	w.Hibernate.ProactiveImage = units.Bytes(float64(w.Hibernate.ProactiveImage) * scale)
+	return w
+}
+
+// Proportionality is the ablation behind §6.2's explanation that
+// "migration ... is better than throttling ... due to lack of energy
+// proportionality in today's servers": as servers approach proportionality
+// (idle power → 0), consolidation's advantage evaporates because vacating
+// a server stops saving its idle watts.
+func Proportionality() report.Table {
+	t := report.Table{
+		Title:   "Ablation: energy proportionality vs migration's advantage (SPECjbb, 1h)",
+		Columns: []string{"idle power", "idle/peak", "throttle cost", "migration cost", "migration wins"},
+	}
+	for _, idle := range []units.Watts{80, 50, 25, 5} {
+		env := technique.DefaultEnv(DefaultServers)
+		env.Server.IdleW = idle
+		f := &core.Framework{Env: env}
+		w := workload.Specjbb()
+		thr, ok1 := f.MinCostUPS(technique.Throttling{PState: 6}, w, time.Hour)
+		mig, ok2 := f.MinCostUPS(technique.Migration{ThrottleDeep: true}, w, time.Hour)
+		if !ok1 || !ok2 {
+			t.AddRow(idle, "-", "-", "-", "-")
+			continue
+		}
+		// Compare cost per unit of delivered performance.
+		thrEff := thr.NormCost / maxf(thr.Result.Perf, 1e-9)
+		migEff := mig.NormCost / maxf(mig.Result.Perf, 1e-9)
+		t.AddRow(idle, fmt.Sprintf("%.2f", float64(idle)/float64(env.Server.PeakW)),
+			fmt.Sprintf("%.2f (perf %.2f)", thr.NormCost, thr.Result.Perf),
+			fmt.Sprintf("%.2f (perf %.2f)", mig.NormCost, mig.Result.Perf),
+			fmt.Sprintf("%v", migEff < thrEff))
+	}
+	t.Notes = append(t.Notes,
+		"today's 80 W idle favors consolidation; a near-proportional 5 W server erases most of the benefit")
+	return t
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

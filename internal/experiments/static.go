@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/battery"
+	"backuppower/internal/cost"
+	"backuppower/internal/outage"
+	"backuppower/internal/report"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// Fig1 reproduces the outage frequency and duration histograms.
+func Fig1() report.Table {
+	t := report.Table{
+		Title:   "Figure 1: power outage distributions for US businesses",
+		Columns: []string{"histogram", "bucket", "share"},
+	}
+	for _, b := range outage.FrequencyDistribution() {
+		label := fmt.Sprintf("%d to %d", b.Lo, b.Hi)
+		switch {
+		case b.Lo == 0 && b.Hi == 0:
+			label = "none"
+		case b.Hi >= 12:
+			label = fmt.Sprintf("%d+", b.Lo)
+		}
+		t.AddRow("outages/year", label, pct(b.Prob))
+	}
+	for _, b := range outage.DurationDistribution().Buckets {
+		t.AddRow("duration", fmt.Sprintf("%s to %s",
+			report.FormatDuration(b.Lo), report.FormatDuration(b.Hi)), pct(b.Prob))
+	}
+	d := outage.DurationDistribution()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%.0f%% of outages are under 5 minutes (paper: over 58%%)", d.CDF(5*time.Minute)*100),
+		fmt.Sprintf("%.0f%% are under 40 minutes (the NoDG coverage headline)", d.CDF(40*time.Minute)*100))
+	return t
+}
+
+// Fig3 reproduces the battery runtime chart for the 4 KW APC pack.
+func Fig3() report.Table {
+	t := report.Table{
+		Title:   "Figure 3: runtime for a battery with max power of 4 KW",
+		Columns: []string{"load", "watts", "runtime", "energy delivered"},
+	}
+	pack := battery.NewPack(battery.LeadAcid(), 4*units.Kilowatt, 10*time.Minute)
+	for _, frac := range []float64{0.10, 0.25, 0.50, 0.75, 1.00} {
+		load := units.Watts(frac * 4000)
+		t.AddRow(pct(frac), load, pack.RuntimeAt(load), pack.EffectiveEnergyAt(load))
+	}
+	t.Notes = append(t.Notes,
+		"paper anchors: 60 min at 25% load (1 KWh), 10 min at 100% (0.66 KWh)")
+	return t
+}
+
+// Table1 prints the cost-model parameters.
+func Table1() report.Table {
+	t := report.Table{
+		Title:   "Table 1: DG and UPS cost estimation parameters",
+		Columns: []string{"parameter", "value"},
+	}
+	la := battery.LeadAcid()
+	t.AddRow("DGPowerCost", "$83.3/KW/year")
+	t.AddRow("UPSPowerCost", fmt.Sprintf("$%.0f/KW/year", la.PowerCostPerKWYear))
+	t.AddRow("UPSEnergyCost", fmt.Sprintf("$%.0f/KWh/year", la.EnergyCostPerKWhYear))
+	t.AddRow("FreeRunTime", la.FreeRunTime)
+	t.Notes = append(t.Notes, "DG and UPS electronics depreciated over 12 years; batteries over 4")
+	return t
+}
+
+// Table2 reproduces the backup cost table for three capacity points.
+func Table2() report.Table {
+	t := report.Table{
+		Title:   "Table 2: amortized annual backup cost",
+		Columns: []string{"peak power", "UPS runtime", "DG cost", "UPS cost", "total"},
+	}
+	rows := []struct {
+		peak    units.Watts
+		runtime time.Duration
+	}{
+		{units.Megawatt, 2 * time.Minute},
+		{10 * units.Megawatt, 2 * time.Minute},
+		{10 * units.Megawatt, 42 * time.Minute},
+	}
+	for _, r := range rows {
+		b := cost.Custom("row", r.peak, r.peak, r.runtime)
+		t.AddRow(r.peak, r.runtime, b.DG.AnnualCost(), b.UPS.AnnualCost(), b.AnnualCost())
+	}
+	t.Notes = append(t.Notes, "paper: 0.13M / 1.34M / 1.66M $/year respectively")
+	return t
+}
+
+// Table3 reproduces the named configurations and their normalized costs.
+func Table3() report.Table {
+	t := report.Table{
+		Title:   "Table 3: underprovisioning configurations",
+		Columns: []string{"configuration", "DG power", "UPS power", "UPS energy", "normalized cost"},
+	}
+	peak := units.Megawatt
+	for _, b := range cost.Table3(peak) {
+		dgFrac := float64(b.DG.PowerCapacity) / float64(peak)
+		upsFrac := float64(b.UPS.PowerCapacity) / float64(peak)
+		t.AddRow(b.Name, fmt.Sprintf("%.1f", dgFrac), fmt.Sprintf("%.1f", upsFrac),
+			b.UPS.Runtime, b.NormalizedCost(peak))
+	}
+	return t
+}
+
+// Table4 reproduces the operational-phase table.
+func Table4() report.Table {
+	t := report.Table{
+		Title:   "Table 4: performance and availability implications",
+		Columns: []string{"technique", "normal", "outage start", "during outage", "after restored"},
+	}
+	for _, r := range technique.Table4() {
+		t.AddRow(r.Technique, r.Normal, r.OutageStart, r.DuringOutage, r.AfterRestored)
+	}
+	return t
+}
+
+// Table5 reproduces the technique-impact table (computed from the models).
+func Table5() report.Table {
+	t := report.Table{
+		Title:   "Table 5: impact of system techniques on backup capacity",
+		Columns: []string{"technique", "time to take effect", "power after activation"},
+	}
+	env := technique.DefaultEnv(DefaultServers)
+	for _, r := range technique.Table5(env, workload.Specjbb()) {
+		t.AddRow(r.Technique, r.TimeToEffect, fmt.Sprintf("%v (%s)", r.PowerAfter, r.Description))
+	}
+	return t
+}
+
+// Table6 reproduces the hybrid-technique table.
+func Table6() report.Table {
+	t := report.Table{
+		Title:   "Table 6: hybrid sustain-execution + save-state techniques",
+		Columns: []string{"technique", "during power failure"},
+	}
+	for _, r := range technique.Table6() {
+		t.AddRow(r.Technique, r.During)
+	}
+	return t
+}
+
+// Table8 reproduces the SPECjbb save/resume measurements.
+func Table8() report.Table {
+	t := report.Table{
+		Title:   "Table 8: time to save and resume SPECjbb state",
+		Columns: []string{"technique", "save time", "resume time", "save power (norm.)"},
+	}
+	env := technique.DefaultEnv(DefaultServers)
+	for _, r := range technique.Table8(env, workload.Specjbb()) {
+		// The paper prints these in seconds.
+		t.AddRow(r.Technique,
+			fmt.Sprintf("%.0fs", r.SaveTime.Seconds()),
+			fmt.Sprintf("%.0fs", r.Resume.Seconds()),
+			r.PeakNorm)
+	}
+	t.Notes = append(t.Notes,
+		"paper: Sleep 6/8s; Hibernate 230/157s; Proactive 179/157s; Sleep-L 8/8s; Hibernate-L 385/175s")
+	return t
+}

@@ -1,0 +1,136 @@
+package genset
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/units"
+)
+
+func TestAnnualCost(t *testing.T) {
+	// Table 2: 1 MW DG -> $83,300/yr (0.08 M$); 10 MW -> $833,000 (0.83 M$).
+	if got := float64(New(units.Megawatt).AnnualCost()); !units.AlmostEqual(got, 83300, 1e-9) {
+		t.Errorf("1MW DG cost = %v", got)
+	}
+	if got := float64(New(10 * units.Megawatt).AnnualCost()); !units.AlmostEqual(got, 833000, 1e-9) {
+		t.Errorf("10MW DG cost = %v", got)
+	}
+	if got := None().AnnualCost(); got != 0 {
+		t.Errorf("no DG cost = %v", got)
+	}
+}
+
+func TestProvisioned(t *testing.T) {
+	if None().Provisioned() {
+		t.Error("None should not be provisioned")
+	}
+	if !New(units.Kilowatt).Provisioned() {
+		t.Error("1KW DG should be provisioned")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(units.Megawatt).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := None().Validate(); err != nil {
+		t.Errorf("none invalid: %v", err)
+	}
+	bad := New(units.Megawatt)
+	bad.PowerCapacity = -1
+	if bad.Validate() == nil {
+		t.Error("negative capacity should fail")
+	}
+	bad = New(units.Megawatt)
+	bad.TransferSteps = 0
+	if bad.Validate() == nil {
+		t.Error("zero steps should fail")
+	}
+	bad = New(units.Megawatt)
+	bad.StartupDelay = 0
+	if bad.Validate() == nil {
+		t.Error("zero startup should fail")
+	}
+	bad = New(units.Megawatt)
+	bad.FuelRuntime = 0
+	if bad.Validate() == nil {
+		t.Error("zero fuel should fail")
+	}
+}
+
+func TestTransferTimeline(t *testing.T) {
+	c := New(units.Megawatt)
+	// Paper: overall transition ~2-3 minutes.
+	done := c.TransferCompleteAt()
+	if done < 2*time.Minute || done > 3*time.Minute {
+		t.Errorf("transfer completes at %v, want 2-3m", done)
+	}
+	if got := c.SuppliedFraction(0); got != 0 {
+		t.Errorf("fraction before startup = %v", got)
+	}
+	if got := c.SuppliedFraction(c.StartupDelay); got != 1.0/float64(c.TransferSteps) {
+		t.Errorf("fraction at startup = %v", got)
+	}
+	if got := c.SuppliedFraction(done); got != 1 {
+		t.Errorf("fraction at completion = %v", got)
+	}
+	if got := c.SuppliedFraction(time.Hour); got != 1 {
+		t.Errorf("fraction steady state = %v", got)
+	}
+	if got := c.SuppliedFraction(c.FuelRuntime); got != 0 {
+		t.Errorf("fraction after fuel out = %v", got)
+	}
+}
+
+func TestSuppliedFractionMonotoneUntilFuelOut(t *testing.T) {
+	c := New(units.Megawatt)
+	prev := -1.0
+	for at := time.Duration(0); at < c.TransferCompleteAt()+time.Minute; at += time.Second {
+		f := c.SuppliedFraction(at)
+		if f < prev {
+			t.Fatalf("fraction decreased at %v: %v < %v", at, f, prev)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction out of range at %v: %v", at, f)
+		}
+		prev = f
+	}
+}
+
+func TestStepTimes(t *testing.T) {
+	c := New(units.Megawatt)
+	steps := c.StepTimes()
+	if len(steps) != c.TransferSteps+1 {
+		t.Fatalf("got %d step times, want %d", len(steps), c.TransferSteps+1)
+	}
+	if steps[0] != c.StartupDelay {
+		t.Errorf("first step at %v, want %v", steps[0], c.StartupDelay)
+	}
+	if steps[len(steps)-1] != c.FuelRuntime {
+		t.Errorf("last step should be fuel-out")
+	}
+	if None().StepTimes() != nil {
+		t.Error("no DG should have no steps")
+	}
+	// Every step time must change the fraction vs just before it.
+	for _, at := range steps[:len(steps)-1] {
+		before := c.SuppliedFraction(at - time.Nanosecond)
+		after := c.SuppliedFraction(at)
+		if before == after {
+			t.Errorf("step at %v changes nothing (%v)", at, after)
+		}
+	}
+}
+
+func TestCanCarry(t *testing.T) {
+	c := New(units.Megawatt)
+	if !c.CanCarry(units.Megawatt) {
+		t.Error("should carry rated load")
+	}
+	if c.CanCarry(units.Megawatt + 1) {
+		t.Error("should not carry above rating")
+	}
+	if None().CanCarry(1) {
+		t.Error("no DG carries nothing")
+	}
+}

@@ -1,0 +1,130 @@
+// Package loadprofile models time-varying datacenter utilization. Backup
+// underprovisioning interacts with load: an outage at the daily trough is
+// far easier to ride than one at peak, so yearly availability analyses and
+// capacity planning (Section 7's "capacity planning could depend on
+// historic data") should weight outages by when they land.
+package loadprofile
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"backuppower/internal/units"
+)
+
+// Profile yields a utilization multiplier for a moment in time (expressed
+// as an offset into the year, matching outage.Event.Start).
+type Profile interface {
+	// At returns the relative load in (0, 1] at the given offset.
+	At(t time.Duration) float64
+}
+
+// Flat is a constant profile (the paper's implicit assumption: all
+// experiments run at steady near-peak load).
+type Flat struct{ Level float64 }
+
+// At implements Profile.
+func (f Flat) At(time.Duration) float64 {
+	if f.Level <= 0 || f.Level > 1 {
+		return 1
+	}
+	return f.Level
+}
+
+// Diurnal is the classic interactive-service daily wave with a weekly dip:
+// a sinusoid between Trough and Peak with its maximum at PeakHour, scaled
+// by WeekendFactor on days 6 and 7.
+type Diurnal struct {
+	Trough, Peak  float64
+	PeakHour      float64 // local hour of daily maximum (0-24)
+	WeekendFactor float64 // multiplier applied on weekends (0 < f <= 1)
+}
+
+// Typical is a representative interactive-service profile: 45% trough,
+// 100% peak at 14:00, 85% weekend load.
+func Typical() Diurnal {
+	return Diurnal{Trough: 0.45, Peak: 1.0, PeakHour: 14, WeekendFactor: 0.85}
+}
+
+// Validate checks the shape.
+func (d Diurnal) Validate() error {
+	switch {
+	case d.Trough <= 0 || d.Trough > d.Peak:
+		return fmt.Errorf("loadprofile: trough %v out of (0, peak]", d.Trough)
+	case d.Peak > 1:
+		return fmt.Errorf("loadprofile: peak %v > 1", d.Peak)
+	case d.PeakHour < 0 || d.PeakHour >= 24:
+		return fmt.Errorf("loadprofile: peak hour %v out of [0,24)", d.PeakHour)
+	case d.WeekendFactor <= 0 || d.WeekendFactor > 1:
+		return fmt.Errorf("loadprofile: weekend factor %v out of (0,1]", d.WeekendFactor)
+	}
+	return nil
+}
+
+// At implements Profile.
+func (d Diurnal) At(t time.Duration) float64 {
+	hours := t.Hours()
+	hourOfDay := math.Mod(hours, 24)
+	mid := (d.Peak + d.Trough) / 2
+	amp := (d.Peak - d.Trough) / 2
+	phase := (hourOfDay - d.PeakHour) / 24 * 2 * math.Pi
+	v := mid + amp*math.Cos(phase)
+	day := int(hours/24) % 7
+	if day >= 5 { // days 5,6 of each week are the weekend
+		v *= d.WeekendFactor
+	}
+	return units.Clamp01(v)
+}
+
+// Scale applies the profile at time t to a base utilization, clamped to
+// (0, 1].
+func Scale(p Profile, t time.Duration, base float64) float64 {
+	if p == nil {
+		return base
+	}
+	v := base * p.At(t) / maxOf(p)
+	if v <= 0 {
+		return base
+	}
+	return units.Clamp01(v)
+}
+
+// maxOf samples the profile over a week to normalize Scale so that the
+// profile's own maximum maps to the base utilization.
+func maxOf(p Profile) float64 {
+	max := 0.0
+	for h := 0; h < 24*7; h++ {
+		if v := p.At(time.Duration(h) * time.Hour); v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		return 1
+	}
+	return max
+}
+
+// Stats summarizes a profile over a week.
+type Stats struct {
+	Min, Mean, Max float64
+}
+
+// Summarize samples the profile at 15-minute resolution for a week.
+func Summarize(p Profile) Stats {
+	s := Stats{Min: math.Inf(1)}
+	n := 0
+	for t := time.Duration(0); t < 7*24*time.Hour; t += 15 * time.Minute {
+		v := p.At(t)
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		s.Mean += v
+		n++
+	}
+	s.Mean /= float64(n)
+	return s
+}

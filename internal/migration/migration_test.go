@@ -1,0 +1,140 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+}
+
+func TestSpecjbbLiveMigrationCalibration(t *testing.T) {
+	// Paper: "Specjbb takes 10 minutes to migrate".
+	p := Live(DefaultConfig(), workload.Specjbb(), 1)
+	if !p.Converged {
+		t.Fatalf("specjbb live migration did not converge: %+v", p)
+	}
+	if p.Duration < 8*time.Minute || p.Duration > 12*time.Minute {
+		t.Errorf("specjbb live migration = %v, want ~10m", p.Duration)
+	}
+	// Pre-copy re-sends dirty pages: must exceed the image size.
+	if p.Transferred <= p.State {
+		t.Errorf("transferred %v should exceed state %v", p.Transferred, p.State)
+	}
+	// Stop-and-copy pause stays small.
+	if p.Downtime > 5*time.Second {
+		t.Errorf("stop-copy downtime = %v", p.Downtime)
+	}
+}
+
+func TestSpecjbbProactiveMigrationCalibration(t *testing.T) {
+	// Paper: proactive migration cuts SPECjbb's state from 18 GB to
+	// ~10 GB and migration time to ~5 minutes.
+	p := Proactive(DefaultConfig(), workload.Specjbb(), 1)
+	if p.State.GiB() < 6 || p.State.GiB() > 11 {
+		t.Errorf("residue = %v, want ~8-10 GiB", p.State)
+	}
+	if p.Duration < 3*time.Minute || p.Duration > 7*time.Minute {
+		t.Errorf("proactive migration = %v, want ~5m", p.Duration)
+	}
+	live := Live(DefaultConfig(), workload.Specjbb(), 1)
+	if p.Duration >= live.Duration {
+		t.Errorf("proactive %v should beat live %v", p.Duration, live.Duration)
+	}
+}
+
+func TestMemcachedProactiveAlmostFree(t *testing.T) {
+	// §6.2: low page-modification apps benefit most from proactive
+	// migration.
+	p := Proactive(DefaultConfig(), workload.Memcached(), 1)
+	if p.Duration > 30*time.Second {
+		t.Errorf("memcached proactive = %v, want seconds", p.Duration)
+	}
+	live := Live(DefaultConfig(), workload.Memcached(), 1)
+	if float64(p.Duration) > 0.2*float64(live.Duration) {
+		t.Errorf("memcached proactive %v should be <20%% of live %v", p.Duration, live.Duration)
+	}
+}
+
+func TestAllWorkloadsMigrate(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, w := range workload.All() {
+		p := Live(cfg, w, 1)
+		if p.Duration <= 0 {
+			t.Errorf("%s live migration duration = %v", w.Name, p.Duration)
+		}
+		if p.Duration > 40*time.Minute {
+			t.Errorf("%s live migration = %v, implausibly long", w.Name, p.Duration)
+		}
+		back := MigrateBack(cfg, w, 1)
+		if back.Kind != "migrate-back" {
+			t.Errorf("kind = %q", back.Kind)
+		}
+	}
+}
+
+func TestContentionSlowsMigration(t *testing.T) {
+	cfg := DefaultConfig()
+	solo := Live(cfg, workload.Memcached(), 1)
+	shared := Live(cfg, workload.Memcached(), 4)
+	if shared.Duration <= solo.Duration {
+		t.Errorf("4-way shared %v should be slower than solo %v", shared.Duration, solo.Duration)
+	}
+}
+
+func TestBackgroundBandwidthBounded(t *testing.T) {
+	for _, w := range workload.All() {
+		bw := BackgroundBandwidth(w)
+		if bw < 0 {
+			t.Errorf("%s negative background bw", w.Name)
+		}
+		// Must stay well under the NIC to be "no perceivable impact".
+		if float64(bw) > 0.5*float64(units.GigabitEthernet) {
+			t.Errorf("%s background bw %v too high", w.Name, bw)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := DefaultConfig()
+	bad.MigrationEfficiency = 0
+	if bad.Validate() == nil {
+		t.Error("zero efficiency should fail")
+	}
+	bad = DefaultConfig()
+	bad.StopCopyThreshold = 0
+	if bad.Validate() == nil {
+		t.Error("zero threshold should fail")
+	}
+	bad = DefaultConfig()
+	bad.MaxRounds = 0
+	if bad.Validate() == nil {
+		t.Error("zero rounds should fail")
+	}
+	bad = DefaultConfig()
+	bad.PowerSpikeFraction = 2
+	if bad.Validate() == nil {
+		t.Error("spike fraction > 1 should fail")
+	}
+	bad = DefaultConfig()
+	bad.Link.LineRate = 0
+	if bad.Validate() == nil {
+		t.Error("bad link should fail")
+	}
+}
+
+func TestRateScalesWithSharers(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Rate(2) >= cfg.Rate(1) {
+		t.Error("shared rate should drop")
+	}
+	if !units.AlmostEqual(float64(cfg.Rate(1)), 0.45*112.5e6, 1e-6) {
+		t.Errorf("rate(1) = %v", cfg.Rate(1))
+	}
+}

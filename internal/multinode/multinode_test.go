@@ -1,0 +1,189 @@
+package multinode
+
+import (
+	"testing"
+
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+const testScale = 1 << 20 // 1 MiB of logical state per wire byte
+
+func TestNodeLifecycle(t *testing.T) {
+	n, err := StartNode("n0", units.Gibibyte)
+	if err != nil {
+		t.Fatalf("StartNode: %v", err)
+	}
+	defer n.Close()
+	if n.State() != "active" {
+		t.Errorf("state = %q", n.State())
+	}
+	if n.Held() != units.Gibibyte {
+		t.Errorf("held = %v", n.Held())
+	}
+	cc, err := dialControl(n.ControlAddr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cc.conn.Close()
+	r, err := cc.roundTrip(command{Op: "status"})
+	if err != nil || r.State != "active" {
+		t.Fatalf("status: %+v %v", r, err)
+	}
+	if _, err := cc.roundTrip(command{Op: "sleep"}); err != nil {
+		t.Fatalf("sleep: %v", err)
+	}
+	// Sleeping twice is a protocol error.
+	if _, err := cc.roundTrip(command{Op: "sleep"}); err == nil {
+		t.Error("double sleep should fail")
+	}
+	if _, err := cc.roundTrip(command{Op: "wake"}); err != nil {
+		t.Fatalf("wake: %v", err)
+	}
+	if _, err := cc.roundTrip(command{Op: "bogus"}); err == nil {
+		t.Error("unknown op should fail")
+	}
+	// Power off drops volatile state.
+	if _, err := cc.roundTrip(command{Op: "poweroff"}); err != nil {
+		t.Fatalf("poweroff: %v", err)
+	}
+	if n.Held() != 0 {
+		t.Errorf("held after poweroff = %v", n.Held())
+	}
+}
+
+func TestPairwiseMigration(t *testing.T) {
+	src, err := StartNode("src", 256*units.Mebibyte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := StartNode("dst", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	cc, err := dialControl(src.ControlAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.conn.Close()
+
+	rounds := []int64{int64(256 * units.Mebibyte), int64(32 * units.Mebibyte)}
+	r, err := cc.roundTrip(command{Op: "migrate", Dest: dst.DataAddr(), Rounds: rounds, Scale: testScale})
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	wantWire := int64(256 + 32) // MiB / scale
+	if r.WireBytes != wantWire {
+		t.Errorf("wire bytes = %d, want %d", r.WireBytes, wantWire)
+	}
+	if src.Held() != 0 {
+		t.Errorf("source still holds %v", src.Held())
+	}
+	if dst.WireBytes() != wantWire {
+		t.Errorf("dst wire bytes = %d", dst.WireBytes())
+	}
+	// Migrating from a powered-off source fails.
+	if _, err := cc.roundTrip(command{Op: "poweroff"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.roundTrip(command{Op: "migrate", Dest: dst.DataAddr(), Rounds: rounds, Scale: testScale}); err == nil {
+		t.Error("migration from off node should fail")
+	}
+}
+
+func TestMigrateBadScale(t *testing.T) {
+	src, _ := StartNode("src", units.Mebibyte)
+	defer src.Close()
+	cc, err := dialControl(src.ControlAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.conn.Close()
+	if _, err := cc.roundTrip(command{Op: "migrate", Dest: "127.0.0.1:1", Rounds: []int64{1}, Scale: 0}); err == nil {
+		t.Error("zero scale should fail")
+	}
+	// Unreachable destination fails cleanly.
+	if _, err := cc.roundTrip(command{Op: "migrate", Dest: "127.0.0.1:1", Rounds: []int64{1}, Scale: testScale}); err == nil {
+		t.Error("unreachable dest should fail")
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(3, workload.Memcached(), testScale); err == nil {
+		t.Error("odd node count should fail")
+	}
+	if _, err := NewCoordinator(0, workload.Memcached(), testScale); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := NewCoordinator(2, workload.Memcached(), 0); err == nil {
+		t.Error("zero scale should fail")
+	}
+}
+
+func TestOutageDrill(t *testing.T) {
+	w := workload.Memcached() // low dirty rate: fast convergence
+	co, err := NewCoordinator(4, w, testScale)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+
+	rep, err := co.RunOutageDrill(50 * units.MiBps)
+	if err != nil {
+		t.Fatalf("drill: %v", err)
+	}
+	if len(rep.Migrations) != 2 || len(rep.MigrateBack) != 2 {
+		t.Fatalf("migrations = %d/%d, want 2/2", len(rep.Migrations), len(rep.MigrateBack))
+	}
+	if !rep.SleepOK || !rep.WakeOK {
+		t.Error("sleep/wake did not complete")
+	}
+	// Consolidation preserved all state on the survivors.
+	want := units.Bytes(4) * w.VMImage / 2 * 2
+	if rep.SurvivorsHeld != want {
+		t.Errorf("survivors held %v, want %v", rep.SurvivorsHeld, want)
+	}
+	// Pre-copy means more than one round over the wire.
+	for _, m := range rep.Migrations {
+		if m.Rounds < 2 {
+			t.Errorf("%s->%s rounds = %d", m.Source, m.Dest, m.Rounds)
+		}
+		if m.WireBytes <= 0 {
+			t.Errorf("no wire traffic for %s->%s", m.Source, m.Dest)
+		}
+		if !m.Converged {
+			t.Errorf("migration did not converge")
+		}
+	}
+	// After the drill every node is active and holds its own image.
+	for _, n := range co.Nodes() {
+		if n.State() != "active" {
+			t.Errorf("%s state %q", n.Name(), n.State())
+		}
+		if n.Held() != w.VMImage {
+			t.Errorf("%s holds %v, want %v", n.Name(), n.Held(), w.VMImage)
+		}
+	}
+	co.Shutdown()
+}
+
+func TestDrillSpecjbbManyRounds(t *testing.T) {
+	// SPECjbb's GC churn forces many pre-copy rounds — the protocol must
+	// carry them all.
+	w := workload.Specjbb()
+	co, err := NewCoordinator(2, w, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	rep, err := co.RunOutageDrill(54 * units.MiBps)
+	if err != nil {
+		t.Fatalf("drill: %v", err)
+	}
+	if rep.Migrations[0].Rounds < 5 {
+		t.Errorf("specjbb rounds = %d, want many", rep.Migrations[0].Rounds)
+	}
+}

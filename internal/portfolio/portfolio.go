@@ -1,0 +1,192 @@
+// Package portfolio answers Section 7's second challenge: "How do we
+// provision for heterogeneous applications?" Datacenters host applications
+// with very different state sizes, recovery costs and throttling responses,
+// so one backup configuration rarely fits all. This package plans multiple
+// datacenter *sections*, each with its own backup configuration sized for
+// the applications assigned to it, minimizing total cap-ex subject to
+// per-application performability SLAs.
+package portfolio
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"backuppower/internal/core"
+	"backuppower/internal/cost"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// SLA is a per-application performability requirement for a design outage.
+type SLA struct {
+	// Outage is the design outage duration the SLA must hold for.
+	Outage time.Duration
+	// MinPerf is the minimum normalized throughput during the outage.
+	MinPerf float64
+	// MaxDowntime bounds total unavailability (including post-restore).
+	MaxDowntime time.Duration
+	// RequireStateSafety forbids designs that can lose volatile state.
+	RequireStateSafety bool
+}
+
+// Validate checks the SLA.
+func (s SLA) Validate() error {
+	switch {
+	case s.Outage <= 0:
+		return fmt.Errorf("portfolio: non-positive design outage")
+	case s.MinPerf < 0 || s.MinPerf > 1:
+		return fmt.Errorf("portfolio: min perf %v out of [0,1]", s.MinPerf)
+	case s.MaxDowntime < 0:
+		return fmt.Errorf("portfolio: negative max downtime")
+	}
+	return nil
+}
+
+// Requirement is one application the portfolio must host.
+type Requirement struct {
+	Workload workload.Spec
+	Servers  int
+	SLA      SLA
+}
+
+// Validate checks the requirement.
+func (r Requirement) Validate() error {
+	if err := r.Workload.Validate(); err != nil {
+		return err
+	}
+	if r.Servers < 1 {
+		return fmt.Errorf("portfolio: requirement %s has %d servers", r.Workload.Name, r.Servers)
+	}
+	return r.SLA.Validate()
+}
+
+// Section is one backup domain of the resulting plan.
+type Section struct {
+	Workload   string
+	Servers    int
+	Technique  string
+	Backup     cost.Backup
+	AnnualCost units.DollarsPerYear
+	// Perf and Downtime are the metrics at the design outage; StateSafe
+	// reports that volatile state survived it.
+	Perf      float64
+	Downtime  time.Duration
+	StateSafe bool
+}
+
+// Plan is the portfolio design.
+type Plan struct {
+	Sections []Section
+	// TotalCost across sections, and the cost of the naive alternative —
+	// giving every section today's MaxPerf backup.
+	TotalCost   units.DollarsPerYear
+	MaxPerfCost units.DollarsPerYear
+}
+
+// Savings is the fraction saved against all-MaxPerf provisioning.
+func (p Plan) Savings() float64 {
+	if p.MaxPerfCost == 0 {
+		return 0
+	}
+	return 1 - float64(p.TotalCost)/float64(p.MaxPerfCost)
+}
+
+// Planner designs portfolios over a base framework. Each requirement gets
+// its own section-scale framework (the backup capacities scale with the
+// section's server count).
+type Planner struct {
+	Base *core.Framework
+}
+
+// NewPlanner wraps a framework.
+func NewPlanner(fw *core.Framework) *Planner { return &Planner{Base: fw} }
+
+// sectionFramework clones the base environment at a section's size.
+func (p *Planner) sectionFramework(servers int) *core.Framework {
+	fw := &core.Framework{Env: p.Base.Env, Battery: p.Base.Battery}
+	fw.Env.Servers = servers
+	return fw
+}
+
+// candidates enumerates the designs considered per requirement: every
+// technique family variant under its min-cost sizing, plus MaxPerf with
+// the baseline as the always-feasible fallback.
+func (p *Planner) candidates(fw *core.Framework, req Requirement) []Section {
+	var out []Section
+	peak := fw.Env.PeakPower()
+
+	// MaxPerf fallback.
+	if res, err := fw.Evaluate(cost.MaxPerf(peak), technique.Baseline{}, req.Workload, req.SLA.Outage); err == nil {
+		out = append(out, Section{
+			Workload: req.Workload.Name, Servers: req.Servers,
+			Technique: "Baseline", Backup: cost.MaxPerf(peak),
+			AnnualCost: cost.MaxPerf(peak).AnnualCost(),
+			Perf:       res.Perf, Downtime: res.Downtime, StateSafe: res.Survived,
+		})
+	}
+	for _, s := range fw.EvaluateTechniques(req.Workload, req.SLA.Outage) {
+		for _, op := range s.Points {
+			out = append(out, Section{
+				Workload: req.Workload.Name, Servers: req.Servers,
+				Technique: op.Technique, Backup: op.Backup,
+				AnnualCost: op.Backup.AnnualCost(),
+				Perf:       op.Result.Perf, Downtime: op.Result.Downtime,
+				StateSafe: op.Result.Survived,
+			})
+		}
+	}
+	return out
+}
+
+// meets checks a candidate against the SLA.
+func meets(c Section, sla SLA) bool {
+	if c.Perf < sla.MinPerf {
+		return false
+	}
+	if c.Downtime > sla.MaxDowntime {
+		return false
+	}
+	if sla.RequireStateSafety && !c.StateSafe {
+		return false
+	}
+	return true
+}
+
+// Design picks, for every requirement, the cheapest candidate meeting its
+// SLA. It returns an error when some requirement cannot be met even by
+// MaxPerf (the SLA is infeasible for that workload).
+func (p *Planner) Design(reqs []Requirement) (Plan, error) {
+	if p.Base == nil {
+		return Plan{}, fmt.Errorf("portfolio: nil framework")
+	}
+	if len(reqs) == 0 {
+		return Plan{}, fmt.Errorf("portfolio: no requirements")
+	}
+	var plan Plan
+	for _, req := range reqs {
+		if err := req.Validate(); err != nil {
+			return Plan{}, err
+		}
+		fw := p.sectionFramework(req.Servers)
+		cands := p.candidates(fw, req)
+		sort.Slice(cands, func(i, j int) bool { return cands[i].AnnualCost < cands[j].AnnualCost })
+		chosen := Section{}
+		found := false
+		for _, c := range cands {
+			if meets(c, req.SLA) {
+				chosen, found = c, true
+				break
+			}
+		}
+		if !found {
+			return Plan{}, fmt.Errorf("portfolio: no design meets the SLA for %s (outage %v, perf >= %.2f, downtime <= %v)",
+				req.Workload.Name, req.SLA.Outage, req.SLA.MinPerf, req.SLA.MaxDowntime)
+		}
+		plan.Sections = append(plan.Sections, chosen)
+		plan.TotalCost += chosen.AnnualCost
+		plan.MaxPerfCost += cost.MaxPerf(fw.Env.PeakPower()).AnnualCost()
+	}
+	return plan, nil
+}

@@ -1,0 +1,143 @@
+package portfolio
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"backuppower/internal/core"
+	"backuppower/internal/workload"
+)
+
+func planner() *Planner { return NewPlanner(core.New(16)) }
+
+func relaxed(w workload.Spec, servers int) Requirement {
+	return Requirement{
+		Workload: w,
+		Servers:  servers,
+		SLA: SLA{
+			Outage:      10 * time.Minute,
+			MinPerf:     0,
+			MaxDowntime: 2 * time.Hour,
+		},
+	}
+}
+
+func TestDesignMixedPortfolio(t *testing.T) {
+	p := planner()
+	reqs := []Requirement{
+		// Latency-critical serving: must keep serving, near-zero downtime.
+		{Workload: workload.WebSearch(), Servers: 32, SLA: SLA{
+			Outage: 10 * time.Minute, MinPerf: 0.4, MaxDowntime: time.Minute,
+		}},
+		// Batch HPC: happy to pause, must not lose much work.
+		relaxed(workload.SpecCPU(), 64),
+	}
+	plan, err := p.Design(reqs)
+	if err != nil {
+		t.Fatalf("Design: %v", err)
+	}
+	if len(plan.Sections) != 2 {
+		t.Fatalf("sections = %d", len(plan.Sections))
+	}
+	// Both must be cheaper than MaxPerf, and the batch section cheaper
+	// than the latency-critical one (weaker SLA).
+	if plan.Savings() <= 0 {
+		t.Errorf("savings = %v", plan.Savings())
+	}
+	serving, batch := plan.Sections[0], plan.Sections[1]
+	if serving.Perf < 0.4 || serving.Downtime > time.Minute {
+		t.Errorf("serving section violates SLA: %+v", serving)
+	}
+	perServerServing := float64(serving.AnnualCost) / float64(serving.Servers)
+	perServerBatch := float64(batch.AnnualCost) / float64(batch.Servers)
+	if perServerBatch >= perServerServing {
+		t.Errorf("batch $/server %v should undercut serving %v", perServerBatch, perServerServing)
+	}
+}
+
+func TestDesignTightSLAFallsBackToMaxPerf(t *testing.T) {
+	p := planner()
+	reqs := []Requirement{{
+		Workload: workload.Specjbb(), Servers: 16,
+		SLA: SLA{Outage: 2 * time.Hour, MinPerf: 0.99, MaxDowntime: 0},
+	}}
+	plan, err := p.Design(reqs)
+	if err != nil {
+		t.Fatalf("Design: %v", err)
+	}
+	if plan.Sections[0].Backup.Name != "MaxPerf" {
+		t.Errorf("perfection requires MaxPerf, got %s", plan.Sections[0].Backup.Name)
+	}
+	if plan.Savings() != 0 {
+		t.Errorf("savings = %v", plan.Savings())
+	}
+}
+
+func TestDesignInfeasibleSLA(t *testing.T) {
+	p := planner()
+	// Nothing delivers perf 1.0 with zero downtime through a 2h outage
+	// except MaxPerf — and even MaxPerf cannot beat... it can. So ask for
+	// the impossible: perf 1.0 on MinCost-grade downtime ceiling *and*
+	// stricter than MaxPerf can give is impossible only if MaxPerf fails;
+	// MaxPerf gives perf 1/downtime 0, so use a workload-free impossible
+	// SLA instead: MinPerf > 1 is caught by validation.
+	reqs := []Requirement{{
+		Workload: workload.Specjbb(), Servers: 16,
+		SLA: SLA{Outage: time.Hour, MinPerf: 1.5, MaxDowntime: 0},
+	}}
+	if _, err := p.Design(reqs); err == nil {
+		t.Error("invalid SLA should fail")
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	p := planner()
+	if _, err := p.Design(nil); err == nil {
+		t.Error("empty requirements should fail")
+	}
+	if _, err := (&Planner{}).Design([]Requirement{relaxed(workload.Specjbb(), 4)}); err == nil {
+		t.Error("nil framework should fail")
+	}
+	bad := relaxed(workload.Specjbb(), 0)
+	if _, err := p.Design([]Requirement{bad}); err == nil {
+		t.Error("zero servers should fail")
+	}
+	bad = relaxed(workload.Specjbb(), 4)
+	bad.SLA.Outage = 0
+	if _, err := p.Design([]Requirement{bad}); err == nil {
+		t.Error("zero outage should fail")
+	}
+}
+
+func TestSectionScaling(t *testing.T) {
+	// The same requirement at 2x servers costs ~2x.
+	p := planner()
+	small, err := p.Design([]Requirement{relaxed(workload.Memcached(), 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := p.Design([]Requirement{relaxed(workload.Memcached(), 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(big.TotalCost) / float64(small.TotalCost)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("cost ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestStateSafetyRequirementPlumbed(t *testing.T) {
+	// RequireStateSafety is part of the SLA surface; designs chosen under
+	// it must have survived the design outage.
+	p := planner()
+	req := relaxed(workload.Specjbb(), 16)
+	req.SLA.RequireStateSafety = true
+	plan, err := p.Design([]Requirement{req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan.Sections[0].Technique, "Baseline") && plan.Sections[0].Backup.Name == "MinCost" {
+		t.Error("state-unsafe design chosen under safety requirement")
+	}
+}

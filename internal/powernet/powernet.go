@@ -1,0 +1,243 @@
+// Package powernet models the datacenter power-delivery hierarchy of
+// Figure 2: utility substation → ATS → PDUs → racks (with rack-level UPS
+// units) → servers, plus the diesel generator behind the ATS. It provides
+// topology construction and validation, aggregate load-flow (per-rack and
+// datacenter draw against equipment capacity), and the ATS source-selection
+// state machine with its detection and transfer timings.
+package powernet
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/genset"
+	"backuppower/internal/units"
+	"backuppower/internal/ups"
+)
+
+// Rack is a group of servers behind one rack-level UPS.
+type Rack struct {
+	Name    string
+	Servers int
+	// PerServer is the design draw used for capacity checks.
+	PerServer units.Watts
+	UPS       ups.Config
+}
+
+// Load returns the rack's aggregate design draw.
+func (r Rack) Load() units.Watts {
+	return r.PerServer * units.Watts(r.Servers)
+}
+
+// Validate checks the rack.
+func (r Rack) Validate() error {
+	if r.Servers < 1 {
+		return fmt.Errorf("powernet: rack %s has no servers", r.Name)
+	}
+	if r.PerServer <= 0 {
+		return fmt.Errorf("powernet: rack %s non-positive per-server draw", r.Name)
+	}
+	return r.UPS.Validate()
+}
+
+// PDU distributes one feed across racks.
+type PDU struct {
+	Name     string
+	Capacity units.Watts
+	Racks    []Rack
+}
+
+// Load returns the PDU's aggregate design draw.
+func (p PDU) Load() units.Watts {
+	var total units.Watts
+	for _, r := range p.Racks {
+		total += r.Load()
+	}
+	return total
+}
+
+// Validate checks the PDU and its racks, including capacity.
+func (p PDU) Validate() error {
+	if len(p.Racks) == 0 {
+		return fmt.Errorf("powernet: PDU %s has no racks", p.Name)
+	}
+	for _, r := range p.Racks {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Load() > p.Capacity {
+		return fmt.Errorf("powernet: PDU %s load %v exceeds capacity %v", p.Name, p.Load(), p.Capacity)
+	}
+	return nil
+}
+
+// Hierarchy is the full delivery tree.
+type Hierarchy struct {
+	Name string
+	PDUs []PDU
+	DG   genset.Config
+	ATS  ATSConfig
+}
+
+// Load returns the datacenter's aggregate design draw.
+func (h Hierarchy) Load() units.Watts {
+	var total units.Watts
+	for _, p := range h.PDUs {
+		total += p.Load()
+	}
+	return total
+}
+
+// Servers counts the fleet.
+func (h Hierarchy) Servers() int {
+	n := 0
+	for _, p := range h.PDUs {
+		for _, r := range p.Racks {
+			n += r.Servers
+		}
+	}
+	return n
+}
+
+// UPSPower sums the rack UPS power capacities.
+func (h Hierarchy) UPSPower() units.Watts {
+	var total units.Watts
+	for _, p := range h.PDUs {
+		for _, r := range p.Racks {
+			total += r.UPS.PowerCapacity
+		}
+	}
+	return total
+}
+
+// Validate checks the whole tree.
+func (h Hierarchy) Validate() error {
+	if len(h.PDUs) == 0 {
+		return fmt.Errorf("powernet: hierarchy %s has no PDUs", h.Name)
+	}
+	for _, p := range h.PDUs {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := h.DG.Validate(); err != nil {
+		return err
+	}
+	return h.ATS.Validate()
+}
+
+// Uniform builds the homogeneous topology the experiments assume: racks of
+// rackSize servers at perServer watts, split across PDUs, each rack with a
+// slice of the aggregate UPS, and the given DG.
+func Uniform(name string, servers, rackSize int, perServer units.Watts, u ups.Config, dg genset.Config) (Hierarchy, error) {
+	if servers < 1 || rackSize < 1 {
+		return Hierarchy{}, fmt.Errorf("powernet: bad sizes servers=%d rack=%d", servers, rackSize)
+	}
+	nRacks := (servers + rackSize - 1) / rackSize
+	h := Hierarchy{Name: name, DG: dg, ATS: DefaultATS()}
+	var racks []Rack
+	left := servers
+	for i := 0; i < nRacks; i++ {
+		n := rackSize
+		if n > left {
+			n = left
+		}
+		left -= n
+		rackUPS := u
+		if u.Provisioned() {
+			rackUPS.PowerCapacity = u.PowerCapacity * units.Watts(n) / units.Watts(servers)
+		}
+		racks = append(racks, Rack{
+			Name:      fmt.Sprintf("rack-%d", i),
+			Servers:   n,
+			PerServer: perServer,
+			UPS:       rackUPS,
+		})
+	}
+	// One PDU per 8 racks, capacity with 20% headroom.
+	for i := 0; i < len(racks); i += 8 {
+		end := i + 8
+		if end > len(racks) {
+			end = len(racks)
+		}
+		p := PDU{Name: fmt.Sprintf("pdu-%d", i/8), Racks: racks[i:end]}
+		p.Capacity = units.Watts(1.2 * float64(p.Load()))
+		h.PDUs = append(h.PDUs, p)
+	}
+	return h, h.Validate()
+}
+
+// Source identifies what feeds the datacenter.
+type Source int
+
+// Sources.
+const (
+	SourceUtility Source = iota
+	SourceUPS
+	SourceDG
+	SourceNone
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceUtility:
+		return "utility"
+	case SourceUPS:
+		return "ups"
+	case SourceDG:
+		return "dg"
+	case SourceNone:
+		return "none"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// ATSConfig holds the automatic transfer switch timings.
+type ATSConfig struct {
+	// DetectionDelay is how long the ATS takes to recognize a utility
+	// failure (the UPS's offline switchover races this at ~10 ms).
+	DetectionDelay time.Duration
+	// RetransferDelay is the dwell before switching back to a restored
+	// utility (avoids flapping on sags).
+	RetransferDelay time.Duration
+}
+
+// DefaultATS returns typical timings.
+func DefaultATS() ATSConfig {
+	return ATSConfig{DetectionDelay: 20 * time.Millisecond, RetransferDelay: 2 * time.Second}
+}
+
+// Validate checks the timings.
+func (a ATSConfig) Validate() error {
+	if a.DetectionDelay < 0 || a.RetransferDelay < 0 {
+		return fmt.Errorf("powernet: negative ATS delays")
+	}
+	return nil
+}
+
+// SourceAt returns which source feeds the load at time t after a utility
+// outage begins, for a hierarchy with the given backup. It encodes the
+// Figure 2 switching sequence: utility → (detection) → UPS bridge →
+// (DG start + load steps) → DG; and SourceNone when nothing can carry.
+func (h Hierarchy) SourceAt(t, outage time.Duration) Source {
+	if t >= outage {
+		return SourceUtility
+	}
+	if t < h.ATS.DetectionDelay {
+		// Ride-through window: PSU capacitance carries the load.
+		return SourceUtility
+	}
+	if h.DG.Provisioned() && h.DG.SuppliedFraction(t) >= 1 {
+		return SourceDG
+	}
+	if h.UPSPower() > 0 {
+		return SourceUPS
+	}
+	if h.DG.Provisioned() && h.DG.SuppliedFraction(t) > 0 {
+		return SourceDG
+	}
+	return SourceNone
+}

@@ -1,0 +1,148 @@
+package powernet
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/genset"
+	"backuppower/internal/units"
+	"backuppower/internal/ups"
+)
+
+func uniform(t *testing.T, servers int, u ups.Config, dg genset.Config) Hierarchy {
+	t.Helper()
+	h, err := Uniform("dc", servers, 40, 250, u, dg)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	return h
+}
+
+func TestUniformTopology(t *testing.T) {
+	u := ups.NewConfig(250*1000, 2*time.Minute)
+	h := uniform(t, 1000, u, genset.New(250*1000))
+	if got := h.Servers(); got != 1000 {
+		t.Errorf("servers = %d", got)
+	}
+	if got := h.Load(); got != 250*1000 {
+		t.Errorf("load = %v", got)
+	}
+	// 1000 servers / 40 per rack = 25 racks -> 4 PDUs.
+	if got := len(h.PDUs); got != 4 {
+		t.Errorf("PDUs = %d", got)
+	}
+	// Rack UPS slices sum back to the aggregate.
+	if got := h.UPSPower(); !units.AlmostEqual(float64(got), 250000, 1e-9) {
+		t.Errorf("UPS power = %v", got)
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+}
+
+func TestUniformUnevenLastRack(t *testing.T) {
+	h := uniform(t, 45, ups.None(), genset.None())
+	total := 0
+	for _, p := range h.PDUs {
+		for _, r := range p.Racks {
+			total += r.Servers
+		}
+	}
+	if total != 45 {
+		t.Errorf("server total = %d", total)
+	}
+	last := h.PDUs[len(h.PDUs)-1].Racks
+	if last[len(last)-1].Servers != 5 {
+		t.Errorf("last rack = %d servers, want 5", last[len(last)-1].Servers)
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	if _, err := Uniform("x", 0, 40, 250, ups.None(), genset.None()); err == nil {
+		t.Error("zero servers should fail")
+	}
+	if _, err := Uniform("x", 10, 0, 250, ups.None(), genset.None()); err == nil {
+		t.Error("zero rack size should fail")
+	}
+}
+
+func TestValidateCapacity(t *testing.T) {
+	h := uniform(t, 80, ups.None(), genset.None())
+	// Sabotage a PDU capacity.
+	h.PDUs[0].Capacity = 1
+	if h.Validate() == nil {
+		t.Error("overloaded PDU should fail validation")
+	}
+	bad := Rack{Name: "r", Servers: 0, PerServer: 250, UPS: ups.None()}
+	if bad.Validate() == nil {
+		t.Error("empty rack should fail")
+	}
+	if (PDU{Name: "p"}).Validate() == nil {
+		t.Error("rackless PDU should fail")
+	}
+	if (Hierarchy{Name: "h"}).Validate() == nil {
+		t.Error("PDU-less hierarchy should fail")
+	}
+}
+
+func TestSourceSequenceFullBackup(t *testing.T) {
+	u := ups.NewConfig(250*80, 2*time.Minute)
+	h := uniform(t, 80, u, genset.New(250*80))
+	outage := 30 * time.Minute
+	// Before detection: still nominally utility (capacitance).
+	if got := h.SourceAt(5*time.Millisecond, outage); got != SourceUtility {
+		t.Errorf("at 5ms = %v", got)
+	}
+	// Bridge: UPS.
+	if got := h.SourceAt(30*time.Second, outage); got != SourceUPS {
+		t.Errorf("at 30s = %v", got)
+	}
+	// After transfer completes: DG.
+	if got := h.SourceAt(5*time.Minute, outage); got != SourceDG {
+		t.Errorf("at 5m = %v", got)
+	}
+	// After the outage: utility again.
+	if got := h.SourceAt(31*time.Minute, outage); got != SourceUtility {
+		t.Errorf("after outage = %v", got)
+	}
+}
+
+func TestSourceSequenceNoBackup(t *testing.T) {
+	h := uniform(t, 80, ups.None(), genset.None())
+	if got := h.SourceAt(time.Second, time.Hour); got != SourceNone {
+		t.Errorf("no backup source = %v", got)
+	}
+}
+
+func TestSourceSequenceNoUPS(t *testing.T) {
+	h := uniform(t, 80, ups.None(), genset.New(250*80))
+	// During DG ramp with no UPS: partially fed by DG.
+	if got := h.SourceAt(time.Minute, time.Hour); got != SourceDG {
+		t.Errorf("ramp source = %v", got)
+	}
+	// Before DG starts: nothing.
+	if got := h.SourceAt(time.Second, time.Hour); got != SourceNone {
+		t.Errorf("pre-start source = %v", got)
+	}
+}
+
+func TestSourceStrings(t *testing.T) {
+	for s, want := range map[Source]string{
+		SourceUtility: "utility", SourceUPS: "ups", SourceDG: "dg",
+		SourceNone: "none", Source(9): "source(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d = %q", int(s), got)
+		}
+	}
+}
+
+func TestATSValidate(t *testing.T) {
+	if err := DefaultATS().Validate(); err != nil {
+		t.Errorf("default ATS invalid: %v", err)
+	}
+	bad := ATSConfig{DetectionDelay: -1}
+	if bad.Validate() == nil {
+		t.Error("negative delay should fail")
+	}
+}

@@ -1,0 +1,159 @@
+// Package report renders the experiment tables and series as aligned plain
+// text — the output format of cmd/experiments and the benchmark harness.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // free-form footnotes (paper-vs-measured remarks)
+}
+
+// AddRow appends a row, stringifying each cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Cell renders one value the way the tables want it.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case time.Duration:
+		return FormatDuration(x)
+	case float64:
+		return fmt.Sprintf("%.2f", x)
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// FormatDuration prints durations the way the paper's tables do: seconds
+// below 2 minutes, fractional minutes below 3 hours, hours beyond.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < 2*time.Minute:
+		return fmt.Sprintf("%.0fs", d.Seconds())
+	case d < 3*time.Hour:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	}
+}
+
+// Render writes the table as aligned text.
+func (t Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", width, c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	b.WriteString(line(t.Columns) + "\n")
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		b.WriteString(strings.Repeat("-", total-2) + "\n")
+	}
+	for _, row := range t.Rows {
+		b.WriteString(line(row) + "\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (title and notes become # comments),
+// for piping experiment output into plotting tools.
+func (t Table) RenderCSV(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// String renders to a string (convenience for tests and benches).
+func (t Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Band formats a (min,max) pair compactly, collapsing equal endpoints.
+func Band(min, max float64) string {
+	if min == max {
+		return fmt.Sprintf("%.2f", min)
+	}
+	return fmt.Sprintf("(%.2f,%.2f)", min, max)
+}
+
+// DurationBand formats a duration pair compactly.
+func DurationBand(min, max time.Duration) string {
+	if min == max {
+		return FormatDuration(min)
+	}
+	return fmt.Sprintf("(%s,%s)", FormatDuration(min), FormatDuration(max))
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+	}
+	tb.AddRow("short", 1.5)
+	tb.AddRow("a-much-longer-name", 42*time.Second)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Column 2 aligns: "value"/"1.50"/"42s" start at the same offset.
+	head := strings.Index(lines[1], "value")
+	row1 := strings.Index(lines[3], "1.50")
+	if head <= 0 || head != row1 {
+		t.Errorf("misaligned: header@%d row@%d\n%s", head, row1, out)
+	}
+}
+
+func TestCellFormats(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{"x", "x"},
+		{1.234, "1.23"},
+		{30 * time.Second, "30s"},
+		{5 * time.Minute, "5.0m"},
+		{4 * time.Hour, "4.0h"},
+		{time.Duration(0), "0"},
+		{42, "42"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBands(t *testing.T) {
+	if got := Band(0.5, 0.5); got != "0.50" {
+		t.Errorf("equal band = %q", got)
+	}
+	if got := Band(0.25, 0.75); got != "(0.25,0.75)" {
+		t.Errorf("band = %q", got)
+	}
+	if got := DurationBand(time.Minute, time.Minute); got != "60s" {
+		t.Errorf("equal dband = %q", got)
+	}
+	if got := DurationBand(30*time.Second, 5*time.Minute); got != "(30s,5.0m)" {
+		t.Errorf("dband = %q", got)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("x,with,commas", 1.5)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatalf("RenderCSV: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"# demo", "name,value", `"x,with,commas",1.50`, "# note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := Table{Columns: []string{"a"}, Notes: []string{"paper reports X"}}
+	tb.AddRow("1")
+	if !strings.Contains(tb.String(), "note: paper reports X") {
+		t.Error("missing note")
+	}
+}

@@ -1,0 +1,157 @@
+// Package simkit is a small discrete-event simulation kernel used by the
+// datacenter power and outage models. It provides a virtual clock, an event
+// heap with cancellation, and a piecewise-constant signal recorder that can
+// integrate power traces into energy.
+//
+// The kernel is deliberately single-goroutine: scenario simulations are
+// deterministic and fast, which keeps experiment regeneration reproducible.
+package simkit
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by Engine.Schedule so
+// callers can cancel it before it fires.
+type Event struct {
+	at     time.Duration
+	seq    uint64 // tie-break so same-time events fire in schedule order
+	fn     func()
+	index  int // heap index, -1 when not queued
+	label  string
+	cancel bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Label returns the diagnostic label given at schedule time.
+func (e *Event) Label() string { return e.label }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation clock and scheduler. The zero value
+// is ready to use with the clock at 0.
+type Engine struct {
+	now    time.Duration
+	queue  eventHeap
+	nextID uint64
+	fired  int
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events executed so far (for diagnostics).
+func (e *Engine) Fired() int { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) panics: it always indicates a model bug, and silently
+// reordering time would corrupt every downstream energy integral.
+func (e *Engine) Schedule(at time.Duration, label string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("simkit: schedule %q at %v before now %v", label, at, e.now))
+	}
+	ev := &Event{at: at, seq: e.nextID, fn: fn, label: label}
+	e.nextID++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, label string, fn func()) *Event {
+	return e.Schedule(e.now+d, label, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// has already fired or been cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step fires the next event, advancing the clock to its time. It reports
+// whether an event was available.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in time order until the queue is empty or the next
+// event is strictly after deadline; the clock is then advanced to deadline
+// if it has not reached it.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.queue) > 0 {
+		// Peek.
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run fires all queued events (including ones scheduled by event callbacks)
+// until the queue drains. maxEvents guards against runaway self-scheduling
+// loops; Run panics if exceeded.
+func (e *Engine) Run(maxEvents int) {
+	for n := 0; e.Step(); n++ {
+		if n >= maxEvents {
+			panic(fmt.Sprintf("simkit: exceeded %d events; runaway schedule loop?", maxEvents))
+		}
+	}
+}

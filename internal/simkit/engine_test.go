@@ -1,0 +1,157 @@
+package simkit
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(3*time.Second, "c", func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, "a", func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, "b", func() { order = append(order, 2) })
+	e.Run(100)
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, "tie", func() { order = append(order, i) })
+	}
+	e.Run(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.Schedule(time.Second, "x", func() { fired = true })
+	e.Cancel(ev)
+	e.Run(10)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double cancel is a no-op.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	var e Engine
+	fired := false
+	var later *Event
+	later = e.Schedule(2*time.Second, "later", func() { fired = true })
+	e.Schedule(1*time.Second, "canceller", func() { e.Cancel(later) })
+	e.Run(10)
+	if fired {
+		t.Error("event cancelled mid-run still fired")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(time.Second, "x", func() {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(500*time.Millisecond, "past", func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.Schedule(d, "t", func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	// Deadline past all events advances clock to deadline.
+	e.RunUntil(10 * time.Second)
+	if e.Now() != 10*time.Second || e.Pending() != 0 {
+		t.Errorf("Now=%v Pending=%d", e.Now(), e.Pending())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var e Engine
+	var at time.Duration
+	e.Schedule(time.Second, "outer", func() {
+		e.After(2*time.Second, "inner", func() { at = e.Now() })
+	})
+	e.Run(10)
+	if at != 3*time.Second {
+		t.Fatalf("inner fired at %v, want 3s", at)
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	var e Engine
+	var loop func()
+	loop = func() { e.After(time.Second, "loop", loop) }
+	e.After(time.Second, "loop", loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected runaway panic")
+		}
+	}()
+	e.Run(50)
+}
+
+func TestRandomScheduleOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		n := 50
+		times := make([]time.Duration, n)
+		var fired []time.Duration
+		for i := range times {
+			times[i] = time.Duration(rng.Intn(1000)) * time.Millisecond
+		}
+		for _, d := range times {
+			d := d
+			e.Schedule(d, "r", func() { fired = append(fired, d) })
+		}
+		e.Run(n + 1)
+		if len(fired) != n {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package tco_test
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/tco"
+)
+
+// The Figure 10 cross-over: with Google-2011 economics, dropping the
+// Diesel Generators pays off as long as yearly outage exposure stays under
+// about five hours.
+func ExampleAnalysis_Crossover() {
+	a, err := tco.NewAnalysis(tco.DefaultGoogle2011(), 83.3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("cross-over:", a.Crossover().Round(time.Minute))
+	fmt.Println("profitable at 90 min/yr:", a.ProfitableAt(90*time.Minute))
+	fmt.Println("profitable at 8 h/yr:  ", a.ProfitableAt(8*time.Hour))
+	// Output:
+	// cross-over: 4h56m0s
+	// profitable at 90 min/yr: true
+	// profitable at 8 h/yr:   false
+}

@@ -1,0 +1,120 @@
+// Package tco implements the Section 7 total-cost-of-ownership analysis
+// (Figure 10): weighing the amortized savings from not provisioning Diesel
+// Generators against the revenue lost (plus idle server depreciation)
+// during the yearly minutes of unavailability that underprovisioning
+// allows. The cross-over point tells an organization how much yearly outage
+// it can absorb and still profit from dropping the DG.
+package tco
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/units"
+)
+
+// Analysis holds the per-KW economics.
+type Analysis struct {
+	// RevenuePerKWMin is revenue attributed to each KW-minute of operation.
+	RevenuePerKWMin float64
+	// DepreciationPerKWMin is the server cap-ex wasted per KW-minute of
+	// unavailability.
+	DepreciationPerKWMin float64
+	// DGSavingsPerKWYear is the amortized annual saving from not
+	// provisioning DGs (Table 1: $83.3/KW/yr).
+	DGSavingsPerKWYear float64
+}
+
+// GoogleInputs are the public 2011 figures the paper uses.
+type GoogleInputs struct {
+	DatacenterPower units.Watts // total fleet power
+	AnnualRevenue   float64     // $/year, attributed to datacenter operation
+	ServerCost      float64     // $ per server
+	ServerLifetime  time.Duration
+	ServerPeak      units.Watts // per-server power for $/KW conversion
+}
+
+// DefaultGoogle2011 returns the paper's inputs: 260 MW fleet, $38 B
+// revenue, $2000 servers depreciated over 4 years.
+func DefaultGoogle2011() GoogleInputs {
+	return GoogleInputs{
+		DatacenterPower: 260 * units.Megawatt,
+		AnnualRevenue:   38e9,
+		ServerCost:      2000,
+		ServerLifetime:  4 * 365 * 24 * time.Hour,
+		ServerPeak:      250,
+	}
+}
+
+// minutesPerYear is the denominator for per-minute rates.
+const minutesPerYear = 365 * 24 * 60
+
+// NewAnalysis derives the per-KW rates from organization inputs.
+func NewAnalysis(in GoogleInputs, dgSavingsPerKWYear float64) (Analysis, error) {
+	if in.DatacenterPower <= 0 || in.AnnualRevenue < 0 || in.ServerPeak <= 0 || in.ServerLifetime <= 0 {
+		return Analysis{}, fmt.Errorf("tco: implausible inputs %+v", in)
+	}
+	revenue := in.AnnualRevenue / in.DatacenterPower.KW() / minutesPerYear
+	// Servers per KW times annual depreciation per server, per minute.
+	serversPerKW := 1000 / float64(in.ServerPeak)
+	annualDep := in.ServerCost / in.ServerLifetime.Hours() * 24 * 365
+	dep := serversPerKW * annualDep / minutesPerYear
+	return Analysis{
+		RevenuePerKWMin:      revenue,
+		DepreciationPerKWMin: dep,
+		DGSavingsPerKWYear:   dgSavingsPerKWYear,
+	}, nil
+}
+
+// LossPerKWMin is the combined cost of one KW-minute of unavailability.
+func (a Analysis) LossPerKWMin() float64 {
+	return a.RevenuePerKWMin + a.DepreciationPerKWMin
+}
+
+// OutageCostPerKWYear returns the yearly $/KW loss for the given total
+// yearly outage (unavailability) duration.
+func (a Analysis) OutageCostPerKWYear(perYear time.Duration) float64 {
+	return a.LossPerKWMin() * perYear.Minutes()
+}
+
+// Crossover returns the yearly outage duration at which the loss equals the
+// DG savings — operate left of this and underprovisioning is profitable
+// (the paper's Figure 10 cross-over lands near 5 hours/year).
+func (a Analysis) Crossover() time.Duration {
+	loss := a.LossPerKWMin()
+	if loss <= 0 {
+		return 0
+	}
+	return time.Duration(a.DGSavingsPerKWYear / loss * float64(time.Minute))
+}
+
+// ProfitableAt reports whether the given yearly outage duration still saves
+// money overall.
+func (a Analysis) ProfitableAt(perYear time.Duration) bool {
+	return a.OutageCostPerKWYear(perYear) < a.DGSavingsPerKWYear
+}
+
+// Point is one sample of the Figure 10 curve.
+type Point struct {
+	PerYear  time.Duration
+	Loss     float64 // $/KW/year from unavailability
+	Savings  float64 // $/KW/year from no DG (horizontal line)
+	Profitab bool
+}
+
+// Series samples the Figure 10 curve from 0 to max in the given step.
+func (a Analysis) Series(max, step time.Duration) []Point {
+	if step <= 0 || max <= 0 {
+		return nil
+	}
+	var out []Point
+	for t := time.Duration(0); t <= max; t += step {
+		out = append(out, Point{
+			PerYear:  t,
+			Loss:     a.OutageCostPerKWYear(t),
+			Savings:  a.DGSavingsPerKWYear,
+			Profitab: a.ProfitableAt(t),
+		})
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package tco
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/units"
+)
+
+func analysis(t *testing.T) Analysis {
+	t.Helper()
+	a, err := NewAnalysis(DefaultGoogle2011(), 83.3)
+	if err != nil {
+		t.Fatalf("NewAnalysis: %v", err)
+	}
+	return a
+}
+
+func TestGoogleRatesMatchPaper(t *testing.T) {
+	a := analysis(t)
+	// Paper: ~$0.28/KW/min revenue, ~$0.003/KW/min depreciation.
+	if !units.AlmostEqual(a.RevenuePerKWMin, 0.278, 0.02) {
+		t.Errorf("revenue rate = %v, want ~0.28", a.RevenuePerKWMin)
+	}
+	if !units.AlmostEqual(a.DepreciationPerKWMin, 0.0038, 0.05) {
+		t.Errorf("depreciation rate = %v, want ~0.003", a.DepreciationPerKWMin)
+	}
+}
+
+func TestCrossoverNearFiveHours(t *testing.T) {
+	a := analysis(t)
+	// Paper: cross-over "around 5 hours per year".
+	c := a.Crossover()
+	if c < 4*time.Hour || c > 6*time.Hour {
+		t.Errorf("crossover = %v, want ~5h", c)
+	}
+	if !a.ProfitableAt(c - time.Minute) {
+		t.Error("just left of crossover should be profitable")
+	}
+	if a.ProfitableAt(c + time.Minute) {
+		t.Error("just right of crossover should be unprofitable")
+	}
+}
+
+func TestOutageCostLinear(t *testing.T) {
+	a := analysis(t)
+	one := a.OutageCostPerKWYear(time.Hour)
+	two := a.OutageCostPerKWYear(2 * time.Hour)
+	if !units.AlmostEqual(two, 2*one, 1e-9) {
+		t.Errorf("loss not linear: %v vs %v", two, one)
+	}
+	if a.OutageCostPerKWYear(0) != 0 {
+		t.Error("zero outage should cost nothing")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	a := analysis(t)
+	pts := a.Series(8*time.Hour, 30*time.Minute)
+	if len(pts) != 17 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	crossed := false
+	prev := -1.0
+	for _, p := range pts {
+		if p.Loss < prev {
+			t.Fatal("loss not monotone")
+		}
+		prev = p.Loss
+		if p.Savings != 83.3 {
+			t.Errorf("savings line = %v", p.Savings)
+		}
+		if !p.Profitab && !crossed {
+			crossed = true
+		}
+		if p.Profitab && crossed {
+			t.Error("profitability should flip once")
+		}
+	}
+	if !crossed {
+		t.Error("series should cross the savings line within 8h")
+	}
+	if got := a.Series(0, time.Minute); got != nil {
+		t.Error("zero max should be nil")
+	}
+	if got := a.Series(time.Hour, 0); got != nil {
+		t.Error("zero step should be nil")
+	}
+}
+
+func TestNewAnalysisErrors(t *testing.T) {
+	bad := DefaultGoogle2011()
+	bad.DatacenterPower = 0
+	if _, err := NewAnalysis(bad, 83.3); err == nil {
+		t.Error("zero power should fail")
+	}
+	bad = DefaultGoogle2011()
+	bad.ServerLifetime = 0
+	if _, err := NewAnalysis(bad, 83.3); err == nil {
+		t.Error("zero lifetime should fail")
+	}
+}
+
+func TestZeroLossCrossover(t *testing.T) {
+	a := Analysis{DGSavingsPerKWYear: 83.3}
+	if a.Crossover() != 0 {
+		t.Error("zero loss rate should yield zero crossover")
+	}
+}

@@ -1,0 +1,61 @@
+package technique
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/capping"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// CappedThrottling is budget-driven throttling: instead of naming a P/T
+// state, it names the aggregate power the backup can source and lets the
+// capping controller pick the fastest setting that fits — exactly what a
+// firmware power-cap does when an underprovisioned UPS becomes the limit.
+type CappedThrottling struct {
+	// Budget is the aggregate power the plan may draw. Zero is invalid
+	// and produces an (unsatisfiable) baseline plan.
+	Budget units.Watts
+}
+
+// Name implements Technique.
+func (c CappedThrottling) Name() string {
+	return fmt.Sprintf("CappedThrottling(%v)", c.Budget)
+}
+
+// Plan implements Technique.
+func (c CappedThrottling) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	perServer := c.Budget / units.Watts(env.Servers)
+	perf, setting, ok := capping.PerfUnderBudget(env.Server, w, perServer)
+	if !ok {
+		// Budget below the throttling floor: no active setting fits.
+		// Return the deepest setting anyway; the simulator will correctly
+		// refuse to source it (this mirrors a real cap failure).
+		deep := env.Server.DeepestPState()
+		duty := env.Server.TStateDuty(env.Server.TStates - 1)
+		return Plan{
+			Technique: c.Name(),
+			Phases: []Phase{{
+				Name:      "over-cap",
+				OpenEnded: true,
+				Power:     env.Server.ActivePower(w.Utilization, deep, duty) * units.Watts(env.Servers),
+				Perf:      w.PerfAtSpeed(throttledSpeed(deep, duty)),
+				Available: true,
+			}},
+		}
+	}
+	p := env.Server.PStates[setting.PState]
+	duty := env.Server.TStateDuty(setting.TState)
+	power := env.Server.ActivePower(w.Utilization, p, duty) * units.Watts(env.Servers)
+	return Plan{
+		Technique: c.Name(),
+		Phases: []Phase{{
+			Name:      fmt.Sprintf("capped@%s", setting),
+			OpenEnded: true,
+			Power:     power,
+			Perf:      perf,
+			Available: true,
+		}},
+	}
+}

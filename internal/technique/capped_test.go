@@ -1,0 +1,79 @@
+package technique
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/capping"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+func TestCappedThrottlingFitsBudget(t *testing.T) {
+	e := env()
+	w := workload.Specjbb()
+	for _, frac := range []float64{0.5, 0.6, 0.8, 1.0} {
+		budget := units.Watts(frac * float64(e.PeakPower()))
+		p := CappedThrottling{Budget: budget}.Plan(e, w, time.Hour)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		if p.PeakPower() > budget {
+			t.Errorf("budget %v: plan draws %v", budget, p.PeakPower())
+		}
+		if ph := p.Phases[0]; !ph.Available || ph.Perf <= 0 {
+			t.Errorf("budget %v: should keep serving, got %+v", budget, ph)
+		}
+	}
+}
+
+func TestCappedThrottlingMatchesCappingController(t *testing.T) {
+	e := env()
+	w := workload.Memcached()
+	budget := e.PeakPower() / 2
+	p := CappedThrottling{Budget: budget}.Plan(e, w, time.Hour)
+	wantPerf, _, ok := capping.PerfUnderBudget(e.Server, w, budget/units.Watts(e.Servers))
+	if !ok {
+		t.Fatal("controller says infeasible")
+	}
+	if p.Phases[0].Perf != wantPerf {
+		t.Errorf("plan perf %v != controller %v", p.Phases[0].Perf, wantPerf)
+	}
+}
+
+func TestCappedThrottlingBelowFloor(t *testing.T) {
+	// A budget below the throttling floor cannot be honored: the plan
+	// reports the deepest setting's real draw, which exceeds the budget —
+	// and the simulator will correctly refuse to source it.
+	e := env()
+	w := workload.Specjbb()
+	budget := units.Watts(float64(e.Servers) * 60) // below idle power
+	p := CappedThrottling{Budget: budget}.Plan(e, w, time.Hour)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("plan invalid: %v", err)
+	}
+	if p.PeakPower() <= budget {
+		t.Errorf("sub-floor budget %v should be unsatisfiable, plan draws %v", budget, p.PeakPower())
+	}
+}
+
+func TestCappedThrottlingPerfMonotoneInBudget(t *testing.T) {
+	e := env()
+	w := workload.WebSearch()
+	prev := -1.0
+	for frac := 0.45; frac <= 1.0; frac += 0.05 {
+		budget := units.Watts(frac * float64(e.PeakPower()))
+		p := CappedThrottling{Budget: budget}.Plan(e, w, time.Hour)
+		if p.PeakPower() > budget {
+			continue // below floor
+		}
+		perf := p.Phases[0].Perf
+		if perf < prev {
+			t.Fatalf("perf fell with a bigger budget at %v: %v < %v", budget, perf, prev)
+		}
+		prev = perf
+	}
+	if prev < 0.99 {
+		t.Errorf("full budget perf = %v, want ~1", prev)
+	}
+}

@@ -1,0 +1,261 @@
+package technique
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// The techniques in this file implement Section 7's "Promising
+// Enhancements": NVDIMM whole-system persistence, RDMA-over-sleep
+// (barely-alive memory servers), and geo-replicated request redirection.
+// They are not part of the paper's measured evaluation (Figures 6-9) but
+// the paper argues each changes the cost-performability trade-off; the
+// extension experiments quantify how, within the same framework.
+
+// NVDIMMConfig parameterizes the NVDIMM models.
+type NVDIMMConfig struct {
+	// FlashRate is the DRAM->flash dump rate of the supercap-backed
+	// module after power is cut, and RestoreRate the flash->DRAM reload
+	// speed at boot.
+	FlashRate   units.BytesPerSecond
+	RestoreRate units.BytesPerSecond
+}
+
+// DefaultNVDIMM reflects NVDIMM-N class devices: the save happens inside
+// the DIMM on supercap energy, the restore streams flash at boot.
+func DefaultNVDIMM() NVDIMMConfig {
+	return NVDIMMConfig{
+		FlashRate:   800 * units.MiBps, // parallel across DIMMs
+		RestoreRate: 1200 * units.MiBps,
+	}
+}
+
+// NVDIMM persists all volatile state with no demand on the shared backup
+// infrastructure at all: the energy store is localized to the DIMM
+// (supercap), so the servers can simply lose power. No service during the
+// outage; resume reloads state from flash after restore.
+type NVDIMM struct {
+	Config NVDIMMConfig
+}
+
+func (n NVDIMM) config() NVDIMMConfig {
+	if n.Config.FlashRate <= 0 {
+		return DefaultNVDIMM()
+	}
+	return n.Config
+}
+
+// Name implements Technique.
+func (NVDIMM) Name() string { return "NVDIMM" }
+
+// Plan implements Technique. The whole plan is state-safe from the first
+// instant — the defining property the paper highlights ("persisting
+// application state upon a power outage without the need for UPS").
+func (n NVDIMM) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	cfg := n.config()
+	restore := cfg.RestoreRate.TimeFor(w.Memory.Footprint) + env.Server.RestartTime
+	return Plan{
+		Technique: n.Name(),
+		Phases: []Phase{{
+			Name:      "nv-persisted",
+			OpenEnded: true,
+			Power:     0,
+			StateSafe: true,
+		}},
+		RestoreDowntime: restore,
+	}
+}
+
+// NVDIMMThrottle combines NVDIMM persistence with sustained throttled
+// execution: because the state is crash-safe at every instant, the
+// datacenter can run the battery to exhaustion without risking state —
+// the "procrastinated save" the paper describes. Service continues until
+// the UPS dies, then the servers drop with no loss.
+type NVDIMMThrottle struct {
+	PState int
+	Config NVDIMMConfig
+}
+
+// Name implements Technique.
+func (t NVDIMMThrottle) Name() string {
+	return fmt.Sprintf("NVDIMM+Throttle(P%d)", t.PState)
+}
+
+// Plan implements Technique.
+func (t NVDIMMThrottle) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	cfg := NVDIMM{Config: t.Config}.config()
+	p := clampPState(env, t.PState)
+	power := env.Server.ActivePower(w.Utilization, p, 1) * units.Watts(env.Servers)
+	perf := w.PerfAtSpeed(throttledSpeed(p, 1))
+	restore := cfg.RestoreRate.TimeFor(w.Memory.Footprint) + env.Server.RestartTime
+	return Plan{
+		Technique: t.Name(),
+		Phases: []Phase{{
+			Name:      "nv-throttled",
+			OpenEnded: true,
+			Power:     power,
+			Perf:      perf,
+			Available: true,
+			StateSafe: true, // NVDIMM makes even abrupt loss harmless
+		}},
+		RestoreDowntime:           restore,
+		RestoreAfterPowerLossOnly: true,
+	}
+}
+
+// BarelyAlive is the RDMA-over-sleep idea: the fleet sleeps, but memory
+// controllers and NICs stay powered so remote nodes serve reads directly
+// from the sleeping servers' DRAM. A sliver of service survives at a few
+// tens of watts per server.
+type BarelyAlive struct {
+	// ServedPerf is the normalized throughput the remote-access path
+	// sustains (default 0.10).
+	ServedPerf float64
+	// ExtraPower is the per-server draw beyond S3 for the live memory
+	// controller + NIC (default 20 W).
+	ExtraPower units.Watts
+}
+
+// Name implements Technique.
+func (BarelyAlive) Name() string { return "BarelyAlive" }
+
+func (b BarelyAlive) servedPerf() float64 {
+	if b.ServedPerf <= 0 || b.ServedPerf >= 1 {
+		return 0.10
+	}
+	return b.ServedPerf
+}
+
+func (b BarelyAlive) extraPower() units.Watts {
+	if b.ExtraPower <= 0 {
+		return 20
+	}
+	return b.ExtraPower
+}
+
+// Plan implements Technique.
+func (b BarelyAlive) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	trans, transPower := sleepTransition(env, w, true)
+	perServer := env.Server.SleepPower() + b.extraPower()
+	return Plan{
+		Technique: b.Name(),
+		Phases: []Phase{
+			{
+				Name:  "suspending",
+				Dur:   trans,
+				Power: transPower,
+			},
+			{
+				Name:      "barely-alive",
+				OpenEnded: true,
+				Power:     perServer * units.Watts(env.Servers),
+				Perf:      b.servedPerf(),
+				Available: true,
+				// DRAM still dies with the battery.
+			},
+		},
+		RestoreDowntime: env.Server.ResumeFromSleep,
+	}
+}
+
+// GeoFailover redirects requests to a power-uncorrelated geo-replicated
+// site (Section 1 and 7): the local fleet serves during the redirection
+// window, saves state, and goes dark while the remote site carries the
+// load at a degraded level (WAN latency, remote capacity headroom). It is
+// the paper's recommended answer for very long (> 4 h) outages.
+type GeoFailover struct {
+	// RedirectDelay is the DNS/anycast/load-balancer drain time during
+	// which the local site keeps serving (default 2 min).
+	RedirectDelay time.Duration
+	// RemotePerf is the normalized service level from the remote site
+	// (default 0.7).
+	RemotePerf float64
+	// Save selects how local state is preserved once traffic has drained.
+	Save SaveKind
+}
+
+// Name implements Technique.
+func (GeoFailover) Name() string { return "GeoFailover" }
+
+func (g GeoFailover) redirectDelay() time.Duration {
+	if g.RedirectDelay <= 0 {
+		return 2 * time.Minute
+	}
+	return g.RedirectDelay
+}
+
+func (g GeoFailover) remotePerf() float64 {
+	if g.RemotePerf <= 0 || g.RemotePerf > 1 {
+		return 0.7
+	}
+	return g.RemotePerf
+}
+
+// Plan implements Technique.
+func (g GeoFailover) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	deep := env.Server.DeepestPState()
+	drainPower := env.Server.ActivePower(w.Utilization, deep, 1) * units.Watts(env.Servers)
+	drainPerf := w.PerfAtSpeed(deep.FreqRatio)
+
+	phases := []Phase{{
+		Name:      "draining",
+		Dur:       g.redirectDelay(),
+		Power:     drainPower,
+		Perf:      drainPerf,
+		Available: true,
+	}}
+	var restore time.Duration
+	if g.Save == SaveHibernate {
+		h := Hibernate{LowPower: true}
+		phases = append(phases,
+			Phase{
+				Name:  "saving",
+				Dur:   h.SaveTime(env, w),
+				Power: env.Server.ActivePower(1, deep, 1) * units.Watts(env.Servers),
+				// Remote site already carries the traffic.
+				Perf:      g.remotePerf(),
+				Available: true,
+			},
+			Phase{
+				Name:      "remote-serving",
+				OpenEnded: true,
+				Power:     0,
+				Perf:      g.remotePerf(),
+				Available: true,
+				StateSafe: true,
+			})
+		restore = h.ResumeTime(env, w)
+	} else {
+		trans, transPower := sleepTransition(env, w, true)
+		phases = append(phases,
+			Phase{
+				Name:      "suspending",
+				Dur:       trans,
+				Power:     transPower,
+				Perf:      g.remotePerf(),
+				Available: true,
+			},
+			Phase{
+				Name:      "remote-serving",
+				OpenEnded: true,
+				Power:     env.Server.SleepPower() * units.Watts(env.Servers),
+				Perf:      g.remotePerf(),
+				Available: true,
+				// Local DRAM state still dies with the battery; but the
+				// remote site keeps serving, so only local warm state is
+				// at stake.
+			})
+		restore = env.Server.ResumeFromSleep
+	}
+	return Plan{
+		Technique:       g.Name(),
+		Phases:          phases,
+		RestoreDowntime: restore,
+		// Redirecting traffic back is degraded, not down.
+		RestoreDegradedDur:  g.redirectDelay(),
+		RestoreDegradedPerf: g.remotePerf(),
+	}
+}

@@ -1,0 +1,126 @@
+package technique
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/workload"
+)
+
+func TestNVDIMMPlan(t *testing.T) {
+	e := env()
+	w := workload.Specjbb()
+	p := NVDIMM{}.Plan(e, w, time.Hour)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid plan: %v", err)
+	}
+	if p.PeakPower() != 0 {
+		t.Errorf("NVDIMM should demand no backup power, got %v", p.PeakPower())
+	}
+	if !p.Phases[0].StateSafe {
+		t.Error("NVDIMM is state-safe by construction")
+	}
+	// Restore: flash reload + reboot, well under a crash recovery.
+	crashLo, _ := CrashRecovery(e, w)
+	if p.RestoreDowntime >= crashLo {
+		t.Errorf("NVDIMM restore %v should beat crash recovery %v", p.RestoreDowntime, crashLo)
+	}
+	if p.RestoreDowntime < time.Minute {
+		t.Errorf("restore %v suspiciously fast (18 GiB flash reload + reboot)", p.RestoreDowntime)
+	}
+}
+
+func TestNVDIMMThrottlePlan(t *testing.T) {
+	e := env()
+	w := workload.Specjbb()
+	p := NVDIMMThrottle{PState: 6}.Plan(e, w, time.Hour)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid plan: %v", err)
+	}
+	ph := p.Phases[0]
+	if !ph.StateSafe || !ph.Available || ph.Perf <= 0 {
+		t.Errorf("NVDIMM+Throttle should serve state-safely: %+v", ph)
+	}
+	if !p.RestoreAfterPowerLossOnly {
+		t.Error("restore should apply only after power loss")
+	}
+	// Same power as plain throttling at the same state.
+	thr := Throttling{PState: 6}.Plan(e, w, time.Hour)
+	if p.PeakPower() != thr.PeakPower() {
+		t.Errorf("power %v != throttling %v", p.PeakPower(), thr.PeakPower())
+	}
+}
+
+func TestBarelyAlivePlan(t *testing.T) {
+	e := env()
+	w := workload.WebSearch()
+	p := BarelyAlive{}.Plan(e, w, time.Hour)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid plan: %v", err)
+	}
+	alive := p.Phases[1]
+	if !alive.Available || alive.Perf != 0.10 {
+		t.Errorf("barely-alive phase: %+v", alive)
+	}
+	// Draw sits between sleep and throttled.
+	sleep := Sleep{}.Plan(e, w, time.Hour).Phases[1].Power
+	thr := Throttling{PState: 6}.Plan(e, w, time.Hour).Phases[0].Power
+	if alive.Power <= sleep || alive.Power >= thr {
+		t.Errorf("barely-alive power %v should sit in (%v, %v)", alive.Power, sleep, thr)
+	}
+	// Custom knobs clamp.
+	c := BarelyAlive{ServedPerf: 2, ExtraPower: -5}
+	cp := c.Plan(e, w, time.Hour)
+	if cp.Phases[1].Perf != 0.10 {
+		t.Errorf("bad perf knob should default, got %v", cp.Phases[1].Perf)
+	}
+}
+
+func TestGeoFailoverPlans(t *testing.T) {
+	e := env()
+	w := workload.WebSearch()
+	for _, save := range []SaveKind{SaveSleep, SaveHibernate} {
+		g := GeoFailover{Save: save}
+		p := g.Plan(e, w, 6*time.Hour)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid plan (%v): %v", save, err)
+		}
+		last := p.Phases[len(p.Phases)-1]
+		if !last.Available || last.Perf != 0.7 {
+			t.Errorf("remote serving phase: %+v", last)
+		}
+		if save == SaveHibernate && !last.StateSafe {
+			t.Error("hibernate-backed failover should be state-safe")
+		}
+		if p.RestoreDegradedDur <= 0 {
+			t.Error("redirect-back should be degraded")
+		}
+	}
+	// Defaults clamp.
+	d := GeoFailover{RemotePerf: -1, RedirectDelay: -time.Second}
+	p := d.Plan(e, w, time.Hour)
+	if p.Phases[0].Dur != 2*time.Minute {
+		t.Errorf("default redirect delay = %v", p.Phases[0].Dur)
+	}
+}
+
+func TestGeoFailoverServesThroughVeryLongOutage(t *testing.T) {
+	// The §7 recommendation: for > 4 h outages with no DG, redirect.
+	e := env()
+	w := workload.WebSearch()
+	p := GeoFailover{Save: SaveHibernate}.Plan(e, w, 6*time.Hour)
+	// After drain + save, the open-ended phase draws nothing — so the
+	// backup requirement is bounded regardless of outage length.
+	var fixed time.Duration
+	for _, ph := range p.Phases {
+		if !ph.OpenEnded {
+			fixed += ph.Dur
+		}
+	}
+	if fixed > 10*time.Minute {
+		t.Errorf("fixed phases = %v, want bounded", fixed)
+	}
+	if p.PeakPower() >= e.PeakPower() {
+		t.Errorf("drain power %v should be throttled", p.PeakPower())
+	}
+}

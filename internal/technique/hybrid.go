@@ -1,0 +1,177 @@
+package technique
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// ThrottleThenSave is the Table 6 family that combines sustain-execution
+// with save-state: serve throttled for part of the outage, then preserve
+// state and go dark for the remainder. ActiveFraction selects how much of
+// the (expected) outage is spent serving — the knob the framework sweeps to
+// trade performance against backup energy.
+//
+//   - Save = SaveSleep  -> "Throttle+Sleep-L"
+//   - Save = SaveHibernate -> "Throttle+Hibernate"
+type ThrottleThenSave struct {
+	PState         int
+	Save           SaveKind
+	ActiveFraction float64 // (0,1]; portion of the outage spent serving
+}
+
+// SaveKind selects the save-state tail of a hybrid.
+type SaveKind int
+
+// Save kinds.
+const (
+	SaveSleep SaveKind = iota
+	SaveHibernate
+)
+
+// Name implements Technique.
+func (t ThrottleThenSave) Name() string {
+	switch t.Save {
+	case SaveHibernate:
+		return fmt.Sprintf("Throttle+Hibernate(P%d)", t.PState)
+	default:
+		return fmt.Sprintf("Throttle+Sleep-L(P%d)", t.PState)
+	}
+}
+
+func (t ThrottleThenSave) activeFraction() float64 {
+	if t.ActiveFraction <= 0 || t.ActiveFraction > 1 {
+		return 0.5
+	}
+	return t.ActiveFraction
+}
+
+// Plan implements Technique.
+func (t ThrottleThenSave) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	p := clampPState(env, t.PState)
+	perf := w.PerfAtSpeed(throttledSpeed(p, 1))
+	servePower := env.Server.ActivePower(w.Utilization, p, 1) * units.Watts(env.Servers)
+	active := time.Duration(float64(outage) * t.activeFraction())
+
+	phases := []Phase{{
+		Name:      "throttled",
+		Dur:       active,
+		Power:     servePower,
+		Perf:      perf,
+		Available: true,
+	}}
+
+	var restore time.Duration
+	switch t.Save {
+	case SaveHibernate:
+		// Save while still throttled (the "-L" save path).
+		h := Hibernate{LowPower: true}
+		phases = append(phases,
+			Phase{
+				Name:  "saving",
+				Dur:   h.SaveTime(env, w),
+				Power: env.Server.ActivePower(1, env.Server.DeepestPState(), 1) * units.Watts(env.Servers),
+			},
+			Phase{
+				Name:      "hibernated",
+				OpenEnded: true,
+				StateSafe: true,
+			})
+		restore = h.ResumeTime(env, w)
+	default:
+		trans, transPower := sleepTransition(env, w, true)
+		phases = append(phases,
+			Phase{
+				Name:  "suspending",
+				Dur:   trans,
+				Power: transPower,
+			},
+			Phase{
+				Name:      "sleeping",
+				OpenEnded: true,
+				Power:     env.Server.SleepPower() * units.Watts(env.Servers),
+			})
+		restore = env.Server.ResumeFromSleep
+	}
+
+	return Plan{
+		Technique:       t.Name(),
+		Phases:          phases,
+		RestoreDowntime: restore,
+	}
+}
+
+// MigrationThenSleep is Table 6's "Migration+Sleep-L": consolidate onto
+// half the servers (shutting down the sources), serve consolidated for
+// ActiveFraction of the outage, then put the survivors to sleep with a
+// throttled transition. The compact sleeping footprint (half the servers in
+// S3) makes very long outages survivable on small batteries, at the price
+// of no service during the tail.
+type MigrationThenSleep struct {
+	Proactive      bool
+	ActiveFraction float64
+}
+
+// Name implements Technique.
+func (m MigrationThenSleep) Name() string {
+	if m.Proactive {
+		return "ProactiveMigration+Sleep-L"
+	}
+	return "Migration+Sleep-L"
+}
+
+func (m MigrationThenSleep) activeFraction() float64 {
+	if m.ActiveFraction <= 0 || m.ActiveFraction > 1 {
+		return 0.5
+	}
+	return m.ActiveFraction
+}
+
+// Plan implements Technique.
+func (m MigrationThenSleep) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	base := Migration{Proactive: m.Proactive, ThrottleDeep: true}.Plan(env, w, outage)
+	migPhase := base.Phases[0]
+	consPhase := base.Phases[1]
+
+	survivors := (env.Servers + 1) / 2
+	consActive := time.Duration(float64(outage) * m.activeFraction())
+	if consActive > migPhase.Dur {
+		consActive -= migPhase.Dur
+	} else {
+		consActive = 0
+	}
+
+	trans, _ := sleepTransition(env, w, true)
+	// Only the survivors transition; they are running hot, so the
+	// suspend path draws their near-peak power briefly.
+	transPower := env.Server.ActivePower(1, env.Server.DeepestPState(), 1) * units.Watts(survivors)
+
+	return Plan{
+		Technique: m.Name(),
+		Phases: []Phase{
+			migPhase,
+			{
+				Name:      "consolidated",
+				Dur:       consActive,
+				Power:     consPhase.Power,
+				Perf:      consPhase.Perf,
+				Available: true,
+			},
+			{
+				Name:  "suspending",
+				Dur:   trans,
+				Power: transPower,
+			},
+			{
+				Name:      "sleeping",
+				OpenEnded: true,
+				Power:     env.Server.SleepPower() * units.Watts(survivors),
+			},
+		},
+		RestoreDowntime:     env.Server.ResumeFromSleep + base.RestoreDowntime,
+		RestoreDegradedDur:  base.RestoreDegradedDur,
+		RestoreDegradedPerf: base.RestoreDegradedPerf,
+	}
+}

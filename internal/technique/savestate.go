@@ -1,0 +1,153 @@
+package technique
+
+import (
+	"time"
+
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// Sleep suspends the application and OS to RAM (S3): DRAM stays in
+// self-refresh (~5 W/server) and everything else powers off. No service
+// during the outage, but resume is fast (~8 s). LowPower (Sleep-L)
+// throttles while transitioning, halving the save-phase power at the cost
+// of a slightly longer transition (Table 8: 6 s -> 8 s).
+//
+// Sleep is NOT state-safe against battery exhaustion: if the UPS dies while
+// asleep, the self-refresh domain loses power and the state is gone.
+type Sleep struct {
+	LowPower bool
+}
+
+// Name implements Technique.
+func (s Sleep) Name() string {
+	if s.LowPower {
+		return "Sleep-L"
+	}
+	return "Sleep"
+}
+
+// Plan implements Technique.
+func (s Sleep) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	trans, transPower := sleepTransition(env, w, s.LowPower)
+	return Plan{
+		Technique: s.Name(),
+		Phases: []Phase{
+			{
+				Name:  "suspending",
+				Dur:   trans,
+				Power: transPower,
+			},
+			{
+				Name:      "sleeping",
+				OpenEnded: true,
+				Power:     env.Server.SleepPower() * units.Watts(env.Servers),
+			},
+		},
+		RestoreDowntime: env.Server.ResumeFromSleep,
+	}
+}
+
+// sleepTransition returns the S3 entry duration and aggregate power for
+// the normal or low-power variant. The -L transition runs the suspend path
+// in the deepest P-state plus a mild T-state duty cycle, landing at ~0.5 of
+// the server peak (Table 8) — which is what lets Sleep-L ride out the DG
+// ramp behind a half-power UPS (the paper's DG-SmallPUPS configuration).
+// The slower clock stretches the transition: 6 s becomes ~8 s.
+func sleepTransition(env Env, w workload.Spec, lowPower bool) (time.Duration, units.Watts) {
+	trans := env.Server.TransitionToSleep
+	p := env.Server.PStates[0]
+	duty := 1.0
+	if lowPower {
+		p = env.Server.DeepestPState()
+		duty = env.Server.TStateDuty(2)
+	}
+	power := env.Server.ActivePower(w.Utilization, p, duty) * units.Watts(env.Servers)
+	if lowPower {
+		full := env.Server.ActivePower(w.Utilization, env.Server.PStates[0], 1) * units.Watts(env.Servers)
+		lp := float64(power) / float64(full)
+		trans = time.Duration(float64(trans) / (0.5 + 0.5*lp))
+	}
+	return trans, power
+}
+
+// Hibernate persists the application image to local disk (S4) and powers
+// the servers fully off. Proactive flushes dirty state to disk during
+// normal operation so less remains to save after the failure (Table 8:
+// SPECjbb 230 s -> 179 s). LowPower (Hibernate-L) throttles during the
+// save: half the power, a substantially longer save (385 s).
+//
+// Once the save completes the plan is state-safe: battery exhaustion
+// afterwards costs nothing.
+type Hibernate struct {
+	Proactive bool
+	LowPower  bool
+}
+
+// Name implements Technique.
+func (h Hibernate) Name() string {
+	name := "Hibernate"
+	if h.Proactive {
+		name = "ProactiveHibernate"
+	}
+	if h.LowPower {
+		name += "-L"
+	}
+	return name
+}
+
+// SaveTime returns how long the post-failure save takes for the workload.
+func (h Hibernate) SaveTime(env Env, w workload.Spec) time.Duration {
+	image := w.Hibernate.Image
+	if h.Proactive {
+		image = w.Hibernate.ProactiveImage
+	}
+	size := units.Bytes(float64(image) * w.Hibernate.SavePenalty)
+	throttle := 1.0
+	if h.LowPower {
+		throttle = 0.5
+	}
+	return env.Disk.WriteTime(size, throttle)
+}
+
+// ResumeTime returns the post-restore resume duration (full image read —
+// proactive hibernation still resumes everything — plus cache
+// repopulation charged as downtime).
+func (h Hibernate) ResumeTime(env Env, w workload.Spec) time.Duration {
+	size := units.Bytes(float64(w.Hibernate.Image) * w.Hibernate.ResumePenalty)
+	// -L variants come back up in a low clock state until the governor
+	// ramps; calibrated against Table 8's 157 s -> 175 s.
+	throttle := 1.0
+	if h.LowPower {
+		throttle = 0.85
+	}
+	return env.Disk.ReadTime(size, throttle) + w.Hibernate.PostResume
+}
+
+// Plan implements Technique.
+func (h Hibernate) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	p := env.Server.PStates[0]
+	if h.LowPower {
+		p = env.Server.DeepestPState()
+	}
+	// Saving drives CPU+disk flat out (Table 8 normalizes save power to
+	// server peak for the un-throttled variants).
+	savePower := env.Server.ActivePower(1, p, 1) * units.Watts(env.Servers)
+	return Plan{
+		Technique: h.Name(),
+		Phases: []Phase{
+			{
+				Name:  "saving",
+				Dur:   h.SaveTime(env, w),
+				Power: savePower,
+			},
+			{
+				Name:      "hibernated",
+				OpenEnded: true,
+				Power:     0,
+				StateSafe: true,
+			},
+		},
+		RestoreDowntime: h.ResumeTime(env, w),
+	}
+}

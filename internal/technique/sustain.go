@@ -1,0 +1,177 @@
+package technique
+
+import (
+	"fmt"
+	"time"
+
+	"backuppower/internal/migration"
+	"backuppower/internal/server"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// Baseline is "no technique": keep running at full service, exactly what
+// MaxPerf does behind a full backup and what crashes instantly behind none.
+type Baseline struct{}
+
+// Name implements Technique.
+func (Baseline) Name() string { return "Baseline" }
+
+// Plan implements Technique.
+func (Baseline) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	return Plan{
+		Technique: "Baseline",
+		Phases: []Phase{{
+			Name:      "full-service",
+			OpenEnded: true,
+			Power:     env.NormalPower(w),
+			Perf:      1,
+			Available: true,
+		}},
+	}
+}
+
+// Throttling runs the application in a lower active power state (DVFS
+// P-state, optionally a clock-throttling T-state on top) for the whole
+// outage. It engages within tens of microseconds — inside the PSU
+// capacitance ride-through — so it is the one technique guaranteed to cut
+// the peak power the backup must source (§5).
+type Throttling struct {
+	// PState indexes the server's P-state table (0 = full speed).
+	PState int
+	// TState indexes the clock-throttling table (0 = no duty cycling).
+	TState int
+}
+
+// Name implements Technique.
+func (t Throttling) Name() string {
+	if t.TState > 0 {
+		return fmt.Sprintf("Throttling(P%d,T%d)", t.PState, t.TState)
+	}
+	return fmt.Sprintf("Throttling(P%d)", t.PState)
+}
+
+// Plan implements Technique.
+func (t Throttling) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	p := clampPState(env, t.PState)
+	duty := env.Server.TStateDuty(t.TState)
+	power := env.Server.ActivePower(w.Utilization, p, duty) * units.Watts(env.Servers)
+	perf := w.PerfAtSpeed(throttledSpeed(p, duty))
+	return Plan{
+		Technique: t.Name(),
+		Phases: []Phase{{
+			Name:      "throttled",
+			OpenEnded: true,
+			Power:     power,
+			Perf:      perf,
+			Available: true,
+		}},
+		// Restoring full P-state is instantaneous; no downtime.
+	}
+}
+
+// Migration consolidates the applications onto half the servers via live
+// migration (Xen-style) and powers the sources down, trading performance
+// for the idle power of the vacated machines — the energy-proportionality
+// play of §5. Proactive selects the Remus-style variant that pre-copies
+// state during normal operation so only the residue moves after the
+// failure. ThrottleDeep additionally runs the migration itself in the
+// deepest P-state to suppress the migration power spike (the
+// Migration+Throttle pairing the paper uses for capped configs).
+type Migration struct {
+	Proactive    bool
+	ThrottleDeep bool
+	// Factor is the consolidation ratio (servers per surviving server);
+	// 0 defaults to 2 (the paper powers down every alternate server).
+	Factor int
+}
+
+// Name implements Technique.
+func (m Migration) Name() string {
+	name := "Migration"
+	if m.Proactive {
+		name = "ProactiveMigration"
+	}
+	if m.ThrottleDeep {
+		name += "-L"
+	}
+	return name
+}
+
+func (m Migration) factor() int {
+	if m.Factor < 2 {
+		return 2
+	}
+	return m.Factor
+}
+
+// Plan implements Technique.
+func (m Migration) Plan(env Env, w workload.Spec, outage time.Duration) Plan {
+	factor := m.factor()
+	var plan migration.Plan
+	if m.Proactive {
+		plan = migration.Proactive(env.Mig, w, 1)
+	} else {
+		plan = migration.Live(env.Mig, w, 1)
+	}
+
+	// Phase 1: migrating. Source and destination both powered; the
+	// transfer itself adds a momentary spike on top of serving load.
+	p0 := env.Server.PStates[0]
+	duty := 1.0
+	migPerf := 0.9 // background copy steals cycles/membw from serving
+	if m.ThrottleDeep {
+		p0 = env.Server.DeepestPState()
+		migPerf = w.PerfAtSpeed(throttledSpeed(p0, duty)) * 0.9
+	}
+	serve := env.Server.ActivePower(w.Utilization, p0, duty)
+	spike := units.Watts(env.Mig.PowerSpikeFraction * float64(env.Server.PeakW-env.Server.IdleW))
+	migPower := serve + spike
+	if migPower > env.Server.PeakW {
+		migPower = env.Server.PeakW
+	}
+
+	// Phase 2: consolidated. 1/factor of the servers stay up, running
+	// hot (stacked load); the rest are off.
+	survivors := (env.Servers + factor - 1) / factor
+	consUtil := units.Clamp01(w.Utilization * float64(factor))
+	consPower := env.Server.ActivePower(consUtil, env.Server.PStates[0], 1) * units.Watts(survivors)
+	consPerf := w.ConsolidatedPerf(factor)
+
+	// Migrating back after restore keeps service consolidated (degraded,
+	// not down) and adds two brief stop-and-copy pauses.
+	back := migration.MigrateBack(env.Mig, w, 1)
+
+	return Plan{
+		Technique: m.Name(),
+		Phases: []Phase{
+			{
+				Name:      "migrating",
+				Dur:       plan.Duration,
+				Power:     migPower * units.Watts(env.Servers),
+				Perf:      migPerf,
+				Available: true,
+			},
+			{
+				Name:      "consolidated",
+				OpenEnded: true,
+				Power:     consPower,
+				Perf:      consPerf,
+				Available: true,
+			},
+		},
+		RestoreDowntime:     plan.Downtime + back.Downtime,
+		RestoreDegradedDur:  back.Duration,
+		RestoreDegradedPerf: consPerf,
+	}
+}
+
+func clampPState(env Env, i int) server.PState {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(env.Server.PStates) {
+		i = len(env.Server.PStates) - 1
+	}
+	return env.Server.PStates[i]
+}

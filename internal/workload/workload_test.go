@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"testing"
+
+	"backuppower/internal/units"
+)
+
+func TestAllValid(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("got %d workloads, want 4", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", w.Name, err)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, ok := ByName("memcached")
+	if !ok || w.Name != "memcached" {
+		t.Errorf("ByName memcached = %+v, %v", w.Name, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown workload should miss")
+	}
+}
+
+func TestTable7Footprints(t *testing.T) {
+	want := map[string]float64{
+		"web-search":   40,
+		"specjbb":      18,
+		"memcached":    20,
+		"speccpu-mcf8": 16,
+	}
+	for _, w := range All() {
+		if got := w.Memory.Footprint.GiB(); got != want[w.Name] {
+			t.Errorf("%s footprint = %v GiB, want %v", w.Name, got, want[w.Name])
+		}
+	}
+}
+
+func TestPerfAtSpeedShape(t *testing.T) {
+	for _, w := range All() {
+		if got := w.PerfAtSpeed(1.0); !units.AlmostEqual(got, 1.0, 1e-9) {
+			t.Errorf("%s perf@1.0 = %v", w.Name, got)
+		}
+		if got := w.PerfAtSpeed(0); got != 0 {
+			t.Errorf("%s perf@0 = %v", w.Name, got)
+		}
+		// Monotone in speed.
+		prev := 0.0
+		for s := 0.1; s <= 1.0; s += 0.1 {
+			cur := w.PerfAtSpeed(s)
+			if cur < prev {
+				t.Fatalf("%s perf not monotone at %v", w.Name, s)
+			}
+			// Throttling never hurts more than proportionally.
+			if cur < s-1e-9 {
+				t.Fatalf("%s perf %v below speed %v — Amdahl model violated", w.Name, cur, s)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestMemcachedThrottlesBetterThanSpecjbb(t *testing.T) {
+	// §6.2: Memcached's memory stalls make throttling cheap relative to
+	// SPECjbb.
+	mc, jbb := Memcached(), Specjbb()
+	for _, s := range []float64{0.4, 0.6, 0.8} {
+		if mc.PerfAtSpeed(s) <= jbb.PerfAtSpeed(s) {
+			t.Errorf("at speed %v memcached %v should beat specjbb %v",
+				s, mc.PerfAtSpeed(s), jbb.PerfAtSpeed(s))
+		}
+	}
+}
+
+func TestConsolidatedPerf(t *testing.T) {
+	w := Specjbb()
+	if got := w.ConsolidatedPerf(1); got != 1 {
+		t.Errorf("factor 1 = %v", got)
+	}
+	two := w.ConsolidatedPerf(2)
+	if two <= 0.3 || two > 0.5 {
+		t.Errorf("factor 2 = %v, want ~0.45", two)
+	}
+	if four := w.ConsolidatedPerf(4); four >= two {
+		t.Errorf("factor 4 (%v) should be below factor 2 (%v)", four, two)
+	}
+	if got := w.ConsolidatedPerf(0); got != 1 {
+		t.Errorf("factor 0 clamps to 1, got %v", got)
+	}
+}
+
+func TestProactiveResidue(t *testing.T) {
+	// SPECjbb's GC churn keeps its residue large (the paper reports the
+	// state to move after failure drops only from 18 GB to 10 GB).
+	jbb := Specjbb()
+	res := jbb.ProactiveResidue()
+	if res.GiB() < 6 || res.GiB() > 10 {
+		t.Errorf("specjbb residue = %v, want ~8 GiB", res)
+	}
+	// Memcached barely dirties: residue tiny (why §6.2 says low-churn
+	// apps benefit most from proactive migration).
+	mc := Memcached()
+	if mc.ProactiveResidue() > 512*units.Mebibyte {
+		t.Errorf("memcached residue = %v, want < 512 MiB", mc.ProactiveResidue())
+	}
+	if float64(mc.ProactiveResidue()) >= 0.05*float64(jbb.ProactiveResidue()) {
+		t.Errorf("memcached residue should be tiny relative to specjbb")
+	}
+}
+
+func TestHibernateProfiles(t *testing.T) {
+	// Web-search hibernates only its small anonymous image (page cache
+	// dropped); Memcached must write everything, badly.
+	ws, mc := WebSearch(), Memcached()
+	if ws.Hibernate.Image >= 4*units.Gibibyte {
+		t.Errorf("web-search hibernate image = %v, want small", ws.Hibernate.Image)
+	}
+	if mc.Hibernate.Image != mc.Memory.Footprint {
+		t.Errorf("memcached hibernate image = %v, want full footprint", mc.Hibernate.Image)
+	}
+	if mc.Hibernate.SavePenalty <= 1.5 {
+		t.Errorf("memcached save penalty = %v, want > 1.5", mc.Hibernate.SavePenalty)
+	}
+	if ws.Hibernate.PostResume <= 0 {
+		t.Error("web-search needs post-resume cache repopulation")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mutate := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Utilization = 0 },
+		func(s *Spec) { s.CPUBoundFraction = 1.5 },
+		func(s *Spec) { s.VMImage = 0 },
+		func(s *Spec) { s.ProactiveFlushInterval = 0 },
+		func(s *Spec) { s.ConsolidationPenalty = 1 },
+		func(s *Spec) { s.Hibernate.SavePenalty = 0.5 },
+		func(s *Spec) { s.Recovery.WarmupPerf = 2 },
+		func(s *Spec) { s.Recovery.RecomputeMin = 2 * s.Recovery.RecomputeMax; s.Recovery.RecomputeMax = 1 },
+		func(s *Spec) { s.Memory.Footprint = 0 },
+	}
+	for i, m := range mutate {
+		s := Specjbb()
+		s.Recovery.RecomputeMax = 1 // make the recompute mutation meaningful
+		m(&s)
+		if s.Validate() == nil {
+			t.Errorf("mutation %d should invalidate", i)
+		}
+	}
+}
+
+func TestPerfMetricsNamed(t *testing.T) {
+	for _, w := range All() {
+		if w.PerfMetric == "" {
+			t.Errorf("%s missing perf metric", w.Name)
+		}
+	}
+}

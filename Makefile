@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Single-iteration smoke of the deepest experiment (Fig 6: variant race ×
+# rating sweep × duration fan-out) so CI exercises the sweep engine
+# end-to-end without paying for a full benchmark run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkFig6 -benchtime=1x .
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -7,15 +7,19 @@
 package backuppower_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 	"time"
 
 	backuppower "backuppower"
 	"backuppower/internal/battery"
 	"backuppower/internal/cluster"
+	"backuppower/internal/core"
 	"backuppower/internal/cost"
 	"backuppower/internal/experiments"
 	"backuppower/internal/migration"
+	"backuppower/internal/sweep"
 	"backuppower/internal/technique"
 	"backuppower/internal/units"
 	"backuppower/internal/workload"
@@ -28,7 +32,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		tb := e.Run()
+		tb := e.Run(context.Background())
 		if len(tb.Rows) == 0 {
 			b.Fatalf("%s produced no rows", id)
 		}
@@ -156,6 +160,57 @@ func BenchmarkAdaptivePolicyDecide(b *testing.B) {
 		pol.Decide(time.Duration(i%3600)*time.Second, 0.8)
 		if i%64 == 0 {
 			pol.Reset(5 * time.Minute)
+		}
+	}
+}
+
+// benchSweepWidth runs a fixed 32-scenario batch through the sweep engine
+// at the given pool width, simulating directly (no memoization) so the
+// numbers isolate the pool itself. The Serial/Parallel pair tracks the
+// engine's speedup in the bench trajectory.
+func benchSweepWidth(b *testing.B, width int) {
+	b.Helper()
+	env := technique.DefaultEnv(16)
+	w := workload.Specjbb()
+	scns := make([]cluster.Scenario, 32)
+	for i := range scns {
+		scns[i] = cluster.Scenario{
+			Env:      env,
+			Workload: w,
+			Backup:   cost.LargeEUPS(env.PeakPower()),
+			Technique: technique.ThrottleThenSave{
+				PState: 6, Save: technique.SaveSleep,
+				ActiveFraction: float64(i%5+1) / 5,
+			},
+			Outage: time.Duration(i+1) * time.Minute,
+		}
+	}
+	ctx := sweep.WithWidth(context.Background(), width)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Map(ctx, scns, func(_ context.Context, s cluster.Scenario) (cluster.Result, error) {
+			return cluster.Simulate(s)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(scns) {
+			b.Fatalf("results = %d", len(res))
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweepWidth(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweepWidth(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkFullRegen regenerates the entire registry serially from a cold
+// scenario cache — the wall-clock the CLI's default run tracks.
+func BenchmarkFullRegen(b *testing.B) {
+	ctx := sweep.WithWidth(context.Background(), 1)
+	for i := 0; i < b.N; i++ {
+		core.ResetScenarioCache()
+		if _, err := experiments.RunAll(ctx, experiments.Registry()); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

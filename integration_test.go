@@ -1,6 +1,7 @@
 package backuppower_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -109,7 +110,7 @@ func TestExperimentsAllRun(t *testing.T) {
 	for _, e := range experiments.Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tb := e.Run()
+			tb := e.Run(context.Background())
 			if len(tb.Rows) == 0 {
 				t.Fatalf("%s produced no rows", e.ID)
 			}

@@ -10,6 +10,7 @@
 package availability
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"backuppower/internal/cost"
 	"backuppower/internal/loadprofile"
 	"backuppower/internal/outage"
+	"backuppower/internal/sweep"
 	"backuppower/internal/tco"
 	"backuppower/internal/technique"
 	"backuppower/internal/workload"
@@ -87,26 +89,38 @@ func (p *Planner) Validate() error {
 // SimulateYears runs the Monte-Carlo over the given number of years with a
 // deterministic seed.
 func (p *Planner) SimulateYears(years int, seed int64) (Summary, []YearStats, error) {
+	return p.SimulateYearsCtx(context.Background(), years, seed)
+}
+
+// SimulateYearsCtx fans the simulated years out through the sweep engine.
+// Every year gets its own outage generator seeded with
+// outage.DeriveSeed(seed, year), so each year's trace depends only on
+// (seed, year) — never on how many workers ran or in what order — and a
+// parallel run reproduces the serial one exactly.
+func (p *Planner) SimulateYearsCtx(ctx context.Context, years int, seed int64) (Summary, []YearStats, error) {
 	if err := p.Validate(); err != nil {
 		return Summary{}, nil, err
 	}
 	if years < 1 {
 		return Summary{}, nil, fmt.Errorf("availability: %d years", years)
 	}
-	gen := outage.NewGenerator(seed)
-	stats := make([]YearStats, 0, years)
 
 	var sum Summary
 	sum.Config = p.Backup.Name
 	sum.Years = years
 	sum.NormCost = p.Backup.NormalizedCost(p.Framework.Env.PeakPower())
 
-	for y := 0; y < years; y++ {
+	yearIdx := make([]int, years)
+	for y := range yearIdx {
+		yearIdx[y] = y
+	}
+	stats, err := sweep.Map(ctx, yearIdx, func(ctx context.Context, y int) (YearStats, error) {
+		gen := outage.NewGenerator(outage.DeriveSeed(seed, int64(y)))
 		var ys YearStats
 		for _, ev := range gen.Year() {
-			res, err := p.handle(ev)
+			res, err := p.handle(ctx, ev)
 			if err != nil {
-				return Summary{}, nil, err
+				return YearStats{}, err
 			}
 			ys.Outages++
 			ys.OutageTime += ev.Duration
@@ -121,7 +135,12 @@ func (p *Planner) SimulateYears(years int, seed int64) (Summary, []YearStats, er
 				ys.StateLosses++
 			}
 		}
-		stats = append(stats, ys)
+		return ys, nil
+	})
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	for _, ys := range stats {
 		sum.MeanOutagesPerYear += float64(ys.Outages)
 		sum.MeanOutageTime += ys.OutageTime
 		sum.MeanDowntime += ys.Downtime
@@ -151,7 +170,7 @@ func (p *Planner) SimulateYears(years int, seed int64) (Summary, []YearStats, er
 
 // handle evaluates one outage, at the utilization the load profile says
 // the datacenter was running when it struck.
-func (p *Planner) handle(ev outage.Event) (res coreResult, err error) {
+func (p *Planner) handle(ctx context.Context, ev outage.Event) (res coreResult, err error) {
 	w := p.Workload
 	if p.Load != nil {
 		w.Utilization = loadprofile.Scale(p.Load, ev.Start, w.Utilization)
@@ -160,7 +179,10 @@ func (p *Planner) handle(ev outage.Event) (res coreResult, err error) {
 		r, e := p.Framework.Evaluate(p.Backup, p.Technique, w, ev.Duration)
 		return coreResult{r.Downtime, r.Perf, r.Survived}, e
 	}
-	r, _ := p.Framework.BestForConfig(p.Backup, w, ev.Duration)
+	r, _, e := p.Framework.BestForConfigCtx(ctx, p.Backup, w, ev.Duration)
+	if e != nil {
+		return coreResult{}, e
+	}
 	return coreResult{r.Downtime, r.Perf, r.Survived}, nil
 }
 
@@ -191,14 +213,17 @@ func nines(avail float64) float64 {
 // shared trace seed, returning summaries in input order — the operator's
 // decision table.
 func CompareConfigs(fw *core.Framework, w workload.Spec, configs []cost.Backup, years int, seed int64) ([]Summary, error) {
-	out := make([]Summary, 0, len(configs))
-	for _, b := range configs {
+	return CompareConfigsCtx(context.Background(), fw, w, configs, years, seed)
+}
+
+// CompareConfigsCtx fans the per-configuration Monte-Carlos out through
+// the sweep engine. All configurations share the same base seed, so they
+// see identical outage traces (the paper's controlled comparison) and the
+// summaries come back in input order.
+func CompareConfigsCtx(ctx context.Context, fw *core.Framework, w workload.Spec, configs []cost.Backup, years int, seed int64) ([]Summary, error) {
+	return sweep.Map(ctx, configs, func(ctx context.Context, b cost.Backup) (Summary, error) {
 		p := &Planner{Framework: fw, Workload: w, Backup: b}
-		s, _, err := p.SimulateYears(years, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	return out, nil
+		s, _, err := p.SimulateYearsCtx(ctx, years, seed)
+		return s, err
+	})
 }

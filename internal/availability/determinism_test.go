@@ -1,0 +1,63 @@
+package availability
+
+import (
+	"context"
+	"testing"
+
+	"backuppower/internal/core"
+	"backuppower/internal/cost"
+	"backuppower/internal/sweep"
+	"backuppower/internal/workload"
+)
+
+// TestSimulateYearsParallelMatchesSerial pins the Monte-Carlo seeding
+// discipline: every simulated year derives its own generator from
+// (seed, year), so the per-year stats and the aggregate summary are
+// identical at any pool width.
+func TestSimulateYearsParallelMatchesSerial(t *testing.T) {
+	fw := core.New(16)
+	p := &Planner{Framework: fw, Workload: workload.Specjbb(), Backup: cost.NoDG(fw.Env.PeakPower())}
+
+	core.ResetScenarioCache()
+	sumS, statsS, errS := p.SimulateYearsCtx(sweep.WithWidth(context.Background(), 1), 10, 2014)
+	core.ResetScenarioCache()
+	sumP, statsP, errP := p.SimulateYearsCtx(sweep.WithWidth(context.Background(), 8), 10, 2014)
+	if errS != nil || errP != nil {
+		t.Fatalf("errs: %v %v", errS, errP)
+	}
+	if sumS != sumP {
+		t.Errorf("summaries differ:\nserial   %+v\nparallel %+v", sumS, sumP)
+	}
+	if len(statsS) != len(statsP) {
+		t.Fatalf("stats lengths differ: %d vs %d", len(statsS), len(statsP))
+	}
+	for y := range statsS {
+		if statsS[y] != statsP[y] {
+			t.Errorf("year %d differs: serial %+v, parallel %+v", y, statsS[y], statsP[y])
+		}
+	}
+}
+
+// TestCompareConfigsParallelMatchesSerial does the same for the
+// per-configuration fan-out, and checks input-order preservation.
+func TestCompareConfigsParallelMatchesSerial(t *testing.T) {
+	fw := core.New(16)
+	peak := fw.Env.PeakPower()
+	configs := []cost.Backup{cost.MaxPerf(peak), cost.NoDG(peak), cost.MinCost(peak)}
+	w := workload.Specjbb()
+
+	serial, errS := CompareConfigsCtx(sweep.WithWidth(context.Background(), 1), fw, w, configs, 5, 7)
+	parallel, errP := CompareConfigsCtx(sweep.WithWidth(context.Background(), 8), fw, w, configs, 5, 7)
+	if errS != nil || errP != nil {
+		t.Fatalf("errs: %v %v", errS, errP)
+	}
+	for i := range configs {
+		if serial[i].Config != configs[i].Name {
+			t.Errorf("serial order broken at %d: %s", i, serial[i].Config)
+		}
+		if serial[i] != parallel[i] {
+			t.Errorf("config %s differs:\nserial   %+v\nparallel %+v",
+				configs[i].Name, serial[i], parallel[i])
+		}
+	}
+}

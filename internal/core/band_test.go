@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBandWiden(t *testing.T) {
+	b := Band{Min: 0.5, Max: 0.5}
+	b.Widen(0.7)
+	if b != (Band{0.5, 0.7}) {
+		t.Errorf("after widen high: %+v", b)
+	}
+	b.Widen(0.2)
+	if b != (Band{0.2, 0.7}) {
+		t.Errorf("after widen low: %+v", b)
+	}
+	b.Widen(0.4) // inside the band: no change
+	if b != (Band{0.2, 0.7}) {
+		t.Errorf("interior widen moved the band: %+v", b)
+	}
+	b.Widen(0.2) // boundary: no change
+	b.Widen(0.7)
+	if b != (Band{0.2, 0.7}) {
+		t.Errorf("boundary widen moved the band: %+v", b)
+	}
+}
+
+func TestDurationBandWiden(t *testing.T) {
+	b := DurationBand{Min: time.Minute, Max: time.Minute}
+	b.Widen(3 * time.Minute)
+	if b != (DurationBand{time.Minute, 3 * time.Minute}) {
+		t.Errorf("after widen high: %+v", b)
+	}
+	b.Widen(10 * time.Second)
+	if b != (DurationBand{10 * time.Second, 3 * time.Minute}) {
+		t.Errorf("after widen low: %+v", b)
+	}
+	b.Widen(2 * time.Minute)
+	if b != (DurationBand{10 * time.Second, 3 * time.Minute}) {
+		t.Errorf("interior widen moved the band: %+v", b)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"hash/maphash"
+	"math"
+	"reflect"
+	"time"
+
+	"backuppower/internal/cluster"
+	"backuppower/internal/cost"
+	"backuppower/internal/migration"
+	"backuppower/internal/server"
+	"backuppower/internal/storage"
+	"backuppower/internal/sweep"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// scenarioCacheSize caps the shared memo cache. A full cmd/experiments
+// regeneration touches a few tens of thousands of distinct scenarios; the
+// cap keeps pathological callers (open-ended Monte-Carlo grids) from
+// growing the process without bound.
+const scenarioCacheSize = 1 << 15
+
+// scenarioCache memoizes cluster.Simulate results process-wide, keyed by
+// the full (Env, Workload, Backup, Technique, Outage) content. Simulation
+// is pure — the same scenario always produces the same Result — so every
+// figure, Monte-Carlo year and portfolio section that lands on an already
+// evaluated point reuses it instead of re-simulating. Results (including
+// their trace pointers) are shared between callers and must be treated as
+// immutable.
+//
+// The map is keyed by a 128-bit fingerprint of scenarioKey rather than the
+// struct itself: the full key is several hundred bytes of pointer-bearing
+// structs, and storing tens of thousands of copies showed up directly in
+// GC scan and map-hash time. Two independently seeded maphash.Comparable
+// passes give a per-process 128-bit content hash; a colliding pair of
+// distinct scenarios (probability ~n²/2¹²⁸) would silently alias, which we
+// accept the same way content-addressed stores do.
+var scenarioCache = sweep.NewCache[fingerprint, cluster.Result](scenarioCacheSize)
+
+var fpSeedA, fpSeedB = maphash.MakeSeed(), maphash.MakeSeed()
+
+type fingerprint struct{ a, b uint64 }
+
+func fingerprintKey(k scenarioKey) fingerprint {
+	return fingerprint{maphash.Comparable(fpSeedA, k), maphash.Comparable(fpSeedB, k)}
+}
+
+// scenarioKey is a comparable mirror of cluster.Scenario. Everything
+// reachable from a Scenario is a value (structs, scalars, strings — no
+// pointers), so field-wise equality is content equality; the one slice in
+// the graph, server.Config.PStates, is folded into a 64-bit digest via
+// serverKey so the key stays usable in a map. The Technique interface
+// field carries the concrete type in the comparison, which keeps distinct
+// techniques with identical field sets apart. Building the key is a plain
+// struct copy — no reflection, no formatting — so the cache stays cheap
+// relative to the ~2µs simulation it fronts.
+type scenarioKey struct {
+	servers int
+	server  serverKey
+	disk    storage.Disk
+	mig     migration.Config
+	load    workload.Spec
+	backup  cost.Backup
+	tech    technique.Technique
+	outage  time.Duration
+}
+
+// serverKey mirrors server.Config field-for-field with PStates replaced by
+// its digest. TestScenarioKeyMirrorsServerConfig pins the field count so a
+// new Config field cannot silently fall out of the cache key.
+type serverKey struct {
+	name            string
+	idleW, peakW    units.Watts
+	memoryGB, dimms int
+	sleepWPer       units.Watts
+	states          uint64 // digest of the elided PStates
+	tstates         int
+	throttleLatency time.Duration
+	toSleep, toWake time.Duration
+	restart         time.Duration
+}
+
+func keyScenario(s cluster.Scenario) scenarioKey {
+	return scenarioKey{
+		servers: s.Env.Servers,
+		server:  keyServer(s.Env.Server),
+		disk:    s.Env.Disk,
+		mig:     s.Env.Mig,
+		load:    s.Workload,
+		backup:  s.Backup,
+		tech:    s.Technique,
+		outage:  s.Outage,
+	}
+}
+
+func keyServer(c server.Config) serverKey {
+	return serverKey{
+		name:            c.Name,
+		idleW:           c.IdleW,
+		peakW:           c.PeakW,
+		memoryGB:        c.MemoryGB,
+		dimms:           c.DIMMs,
+		sleepWPer:       c.SleepWPer,
+		states:          pstatesDigest(c.PStates),
+		tstates:         c.TStates,
+		throttleLatency: c.ThrottleLatency,
+		toSleep:         c.TransitionToSleep,
+		toWake:          c.ResumeFromSleep,
+		restart:         c.RestartTime,
+	}
+}
+
+// keyable reports whether the technique's dynamic type is comparable. All
+// shipped techniques are flat value structs (pinned by
+// TestShippedTechniquesAreCacheKeyable); a hypothetical technique holding
+// a slice or map would make map insertion panic, so Evaluate routes such
+// values around the cache instead.
+func keyable(s cluster.Scenario) bool {
+	return s.Technique == nil || reflect.TypeOf(s.Technique).Comparable()
+}
+
+// pstatesDigest folds a DVFS table into word-wise FNV-1a. Collisions would
+// silently alias two scenarios, but in practice a process sees a handful
+// of distinct tables (MakePStates with a few shapes), and the digest is
+// re-mixed through maphash with the rest of the key anyway.
+func pstatesDigest(ps []server.PState) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(len(ps)))
+	for _, p := range ps {
+		mix(uint64(p.Index))
+		mix(math.Float64bits(p.FreqRatio))
+		mix(math.Float64bits(p.DynPowerMul))
+	}
+	return h
+}
+
+// ResetScenarioCache empties the shared scenario cache. Benchmarks use it
+// to measure cold-path costs; regular callers never need it.
+func ResetScenarioCache() { scenarioCache.Purge() }
+
+// ScenarioCacheLen reports how many scenario results are currently
+// memoized (visibility for tests and tuning).
+func ScenarioCacheLen() int { return scenarioCache.Len() }

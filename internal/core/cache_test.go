@@ -1,0 +1,91 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"backuppower/internal/cluster"
+	"backuppower/internal/cost"
+	"backuppower/internal/server"
+	"backuppower/internal/technique"
+	"backuppower/internal/workload"
+)
+
+// TestScenarioKeyMirrorsServerConfig guards the serverKey mirror against
+// field drift: a field added to server.Config without a matching key field
+// would silently alias scenarios that differ only in that field.
+func TestScenarioKeyMirrorsServerConfig(t *testing.T) {
+	cfg := reflect.TypeOf(server.Config{}).NumField()
+	key := reflect.TypeOf(serverKey{}).NumField()
+	if key != cfg {
+		t.Fatalf("serverKey has %d fields, server.Config has %d — update keyServer and serverKey", key, cfg)
+	}
+	// Likewise the outer mirror: Scenario's 5 fields with Env flattened
+	// into its 4 constituents gives 8 key fields.
+	if got := reflect.TypeOf(scenarioKey{}).NumField(); got != 8 {
+		t.Fatalf("scenarioKey has %d fields, want 8 — update keyScenario", got)
+	}
+}
+
+// TestScenarioKeySeparatesFields checks the digest and mirror actually
+// discriminate: flipping any single scenario dimension must change the key.
+func TestScenarioKeySeparatesFields(t *testing.T) {
+	f := New(16)
+	mk := func(mut func(*cluster.Scenario)) scenarioKey {
+		s := cluster.Scenario{
+			Env:       f.Env,
+			Workload:  workload.Specjbb(),
+			Backup:    cost.NoDG(f.Env.PeakPower()),
+			Technique: technique.Sleep{LowPower: true},
+			Outage:    30 * time.Minute,
+		}
+		if mut != nil {
+			mut(&s)
+		}
+		return keyScenario(s)
+	}
+	ref := mk(nil)
+	muts := map[string]func(*cluster.Scenario){
+		"servers":  func(s *cluster.Scenario) { s.Env.Servers++ },
+		"pstates":  func(s *cluster.Scenario) { s.Env.Server.PStates = server.MakePStates(5, 0.5) },
+		"workload": func(s *cluster.Scenario) { s.Workload = workload.Memcached() },
+		"backup":   func(s *cluster.Scenario) { s.Backup = cost.MaxPerf(s.Env.PeakPower()) },
+		"techtype": func(s *cluster.Scenario) { s.Technique = technique.Hibernate{} },
+		"techval":  func(s *cluster.Scenario) { s.Technique = technique.Sleep{} },
+		"outage":   func(s *cluster.Scenario) { s.Outage = time.Hour },
+	}
+	for name, mut := range muts {
+		if got := mk(mut); got == ref {
+			t.Errorf("mutating %s did not change the cache key", name)
+		}
+	}
+	if again := mk(nil); again != ref {
+		t.Error("identical scenarios produced different keys")
+	}
+}
+
+// TestShippedTechniquesAreCacheKeyable pins that every technique the
+// framework enumerates (plus the Section 7 extensions) has a comparable
+// dynamic type, so using it inside a map key cannot panic.
+func TestShippedTechniquesAreCacheKeyable(t *testing.T) {
+	f := New(16)
+	techs := []technique.Technique{
+		technique.NVDIMM{}, technique.NVDIMMThrottle{},
+		technique.BarelyAlive{}, technique.GeoFailover{},
+	}
+	for _, v := range f.variants() {
+		techs = append(techs, v.tech)
+	}
+	for _, tech := range techs {
+		if !reflect.TypeOf(tech).Comparable() {
+			t.Errorf("%T is not comparable — Evaluate will bypass the cache for it", tech)
+		}
+		// Exercise real map insertion: hashing through the interface is
+		// what the cache does, and it panics for non-comparable types.
+		m := map[technique.Technique]bool{tech: true}
+		if !m[tech] {
+			t.Errorf("%T did not round-trip as a map key", tech)
+		}
+	}
+}

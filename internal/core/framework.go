@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"backuppower/internal/cluster"
 	"backuppower/internal/cost"
 	"backuppower/internal/genset"
+	"backuppower/internal/sweep"
 	"backuppower/internal/technique"
 	"backuppower/internal/units"
 	"backuppower/internal/workload"
@@ -41,10 +43,24 @@ func New(n int) *Framework {
 	return &Framework{Env: technique.DefaultEnv(n), Battery: battery.LeadAcid()}
 }
 
-// Evaluate runs a single scenario.
+// Evaluate runs a single scenario, memoized through the shared scenario
+// cache: the same (Env, Workload, Backup, Technique, Outage) point is
+// simulated once per process no matter how many figures ask for it. The
+// returned Result carries no timeline traces — retaining tens of
+// thousands of traces in the cache dominated GC time, and no aggregate
+// caller reads them; use cluster.Simulate directly for timelines (as
+// cmd/backupsim does).
 func (f *Framework) Evaluate(b cost.Backup, tech technique.Technique, w workload.Spec, outage time.Duration) (cluster.Result, error) {
-	return cluster.Simulate(cluster.Scenario{
+	scn := cluster.Scenario{
 		Env: f.Env, Workload: w, Backup: b, Technique: tech, Outage: outage,
+	}
+	if !keyable(scn) {
+		return cluster.Simulate(scn)
+	}
+	return scenarioCache.Do(fingerprintKey(keyScenario(scn)), func() (cluster.Result, error) {
+		res, err := cluster.Simulate(scn)
+		res.PerfTrace, res.PowerTrace = nil, nil
+		return res, err
 	})
 }
 
@@ -64,6 +80,21 @@ type OperatingPoint struct {
 // but stretches runtime superlinearly, so the cost curve over the rating is
 // swept numerically.
 func (f *Framework) MinCostUPS(tech technique.Technique, w workload.Spec, outage time.Duration) (OperatingPoint, bool) {
+	op, ok, _ := f.MinCostUPSCtx(context.Background(), tech, w, outage)
+	return op, ok
+}
+
+// ratingCandidate is one point of the UPS-rating sweep.
+type ratingCandidate struct {
+	backup cost.Backup
+	cost   float64
+	ok     bool
+}
+
+// MinCostUPSCtx is MinCostUPS with cancellation: the rating sweep fans out
+// through the shared sweep engine and a context cancellation aborts it.
+// The returned error is non-nil only on cancellation.
+func (f *Framework) MinCostUPSCtx(ctx context.Context, tech technique.Technique, w workload.Spec, outage time.Duration) (OperatingPoint, bool, error) {
 	plan := tech.Plan(f.Env, w, outage)
 	peakNeed := plan.PeakPower()
 	dcPeak := f.Env.PeakPower()
@@ -75,29 +106,25 @@ func (f *Framework) MinCostUPS(tech technique.Technique, w workload.Spec, outage
 		btech = battery.LeadAcid()
 	}
 
-	best := cost.Backup{}
-	bestCost := math.Inf(1)
-	found := false
-
-	consider := func(rated units.Watts) {
+	consider := func(rated units.Watts) ratingCandidate {
 		if rated < peakNeed {
-			return
+			return ratingCandidate{}
 		}
 		runtime, ok := cluster.RequiredRuntime(f.Env, w, plan, genset.None(), outage,
 			rated, btech.PeukertExponent, btech.MinLoadFraction)
 		if !ok {
-			return
+			return ratingCandidate{}
 		}
 		// Tiny provisioning margin so the simulation's fractional
 		// depletion does not land exactly on empty at the outage end,
-		// rounded up to whole seconds (battery modules are not sold in
-		// nanoseconds).
-		runtime = time.Duration(float64(runtime)*1.001) + time.Second
-		runtime = runtime.Truncate(time.Second) + time.Second
-		b := cost.CustomTech(fmt.Sprintf("ups-%s", tech.Name()), 0, rated, runtime, btech)
-		if c := float64(b.AnnualCost()); c < bestCost {
-			bestCost, best, found = c, b, true
+		// then rounded up once to whole seconds (battery modules are not
+		// sold in nanoseconds).
+		runtime = time.Duration(float64(runtime) * 1.001)
+		if whole := runtime.Truncate(time.Second); whole < runtime {
+			runtime = whole + time.Second
 		}
+		b := cost.CustomTech(fmt.Sprintf("ups-%s", tech.Name()), 0, rated, runtime, btech)
+		return ratingCandidate{backup: b, cost: float64(b.AnnualCost()), ok: true}
 	}
 
 	if peakNeed <= 0 {
@@ -105,9 +132,9 @@ func (f *Framework) MinCostUPS(tech technique.Technique, w workload.Spec, outage
 		b := cost.MinCost(dcPeak)
 		res, err := f.Evaluate(b, tech, w, outage)
 		if err != nil || !res.Survived {
-			return OperatingPoint{}, false
+			return OperatingPoint{}, false, nil
 		}
-		return OperatingPoint{Technique: tech.Name(), Backup: b, Result: res}, true
+		return OperatingPoint{Technique: tech.Name(), Backup: b, Result: res}, true, nil
 	}
 	// Sweep ratings geometrically from the plan's peak need to the
 	// datacenter peak.
@@ -116,23 +143,40 @@ func (f *Framework) MinCostUPS(tech technique.Technique, w workload.Spec, outage
 	if hi < lo {
 		hi = lo
 	}
+	ratings := make([]units.Watts, 0, steps+1)
 	for i := 0; i <= steps; i++ {
-		consider(units.Watts(lo * math.Pow(hi/lo, float64(i)/steps)))
+		ratings = append(ratings, units.Watts(lo*math.Pow(hi/lo, float64(i)/steps)))
+	}
+	cands, err := sweep.Map(ctx, ratings, func(_ context.Context, rated units.Watts) (ratingCandidate, error) {
+		return consider(rated), nil
+	})
+	if err != nil {
+		return OperatingPoint{}, false, err
+	}
+	// Fold in rating order: the serial semantics (first strictly cheaper
+	// candidate wins ties) are preserved regardless of completion order.
+	best := cost.Backup{}
+	bestCost := math.Inf(1)
+	found := false
+	for _, c := range cands {
+		if c.ok && c.cost < bestCost {
+			bestCost, best, found = c.cost, c.backup, true
+		}
 	}
 
 	if !found {
-		return OperatingPoint{}, false
+		return OperatingPoint{}, false, nil
 	}
 	res, err := f.Evaluate(best, tech, w, outage)
 	if err != nil || !res.Survived {
-		return OperatingPoint{}, false
+		return OperatingPoint{}, false, nil
 	}
 	return OperatingPoint{
 		Technique: tech.Name(),
 		Backup:    best,
 		Result:    res,
 		NormCost:  best.NormalizedCost(dcPeak),
-	}, true
+	}, true, nil
 }
 
 // Band is a (min, max) pair over a technique's variants — the paper's
@@ -141,9 +185,29 @@ type Band struct {
 	Min, Max float64
 }
 
+// Widen grows the band to include v.
+func (b *Band) Widen(v float64) {
+	if v < b.Min {
+		b.Min = v
+	}
+	if v > b.Max {
+		b.Max = v
+	}
+}
+
 // DurationBand is a (min, max) pair of durations.
 type DurationBand struct {
 	Min, Max time.Duration
+}
+
+// Widen grows the band to include d.
+func (b *DurationBand) Widen(d time.Duration) {
+	if d < b.Min {
+		b.Min = d
+	}
+	if d > b.Max {
+		b.Max = d
+	}
 }
 
 // TechniqueSummary aggregates a technique family's operating points for one
@@ -209,20 +273,45 @@ func Families() []string {
 // min-cost operating points across its variants — the data behind
 // Figures 6-9.
 func (f *Framework) EvaluateTechniques(w workload.Spec, outage time.Duration) []TechniqueSummary {
+	sums, _ := f.EvaluateTechniquesCtx(context.Background(), w, outage)
+	return sums
+}
+
+// EvaluateTechniquesCtx fans the ~30 technique variants out through the
+// sweep engine (each variant's min-cost sizing is itself a parallel rating
+// sweep) and folds the operating points into per-family bands in variant
+// order, so the result is identical to the serial evaluation. The error is
+// non-nil only on context cancellation.
+func (f *Framework) EvaluateTechniquesCtx(ctx context.Context, w workload.Spec, outage time.Duration) ([]TechniqueSummary, error) {
 	byFamily := map[string]*TechniqueSummary{}
 	order := Families()
 	for _, name := range order {
 		byFamily[name] = &TechniqueSummary{Technique: name}
 	}
-	for _, v := range f.variants() {
-		op, ok := f.MinCostUPS(v.tech, w, outage)
-		if !ok {
+	type variantPoint struct {
+		family string
+		op     OperatingPoint
+		ok     bool
+	}
+	points, err := sweep.Map(ctx, f.variants(), func(ctx context.Context, v variant) (variantPoint, error) {
+		op, ok, err := f.MinCostUPSCtx(ctx, v.tech, w, outage)
+		if err != nil {
+			return variantPoint{}, err
+		}
+		return variantPoint{family: v.family, op: op, ok: ok}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		if !p.ok {
 			continue
 		}
-		s := byFamily[v.family]
+		s := byFamily[p.family]
 		if s == nil {
 			continue
 		}
+		op := p.op
 		s.Points = append(s.Points, op)
 		if !s.Feasible {
 			s.Feasible = true
@@ -231,22 +320,15 @@ func (f *Framework) EvaluateTechniques(w workload.Spec, outage time.Duration) []
 			s.Downtime = DurationBand{op.Result.Downtime, op.Result.Downtime}
 			continue
 		}
-		s.Cost.Min = math.Min(s.Cost.Min, op.NormCost)
-		s.Cost.Max = math.Max(s.Cost.Max, op.NormCost)
-		s.Perf.Min = math.Min(s.Perf.Min, op.Result.Perf)
-		s.Perf.Max = math.Max(s.Perf.Max, op.Result.Perf)
-		if op.Result.Downtime < s.Downtime.Min {
-			s.Downtime.Min = op.Result.Downtime
-		}
-		if op.Result.Downtime > s.Downtime.Max {
-			s.Downtime.Max = op.Result.Downtime
-		}
+		s.Cost.Widen(op.NormCost)
+		s.Perf.Widen(op.Result.Perf)
+		s.Downtime.Widen(op.Result.Downtime)
 	}
 	out := make([]TechniqueSummary, 0, len(order))
 	for _, name := range order {
 		out = append(out, *byFamily[name])
 	}
-	return out
+	return out, nil
 }
 
 // BestForConfig picks the technique (across all variants, plus the plain
@@ -255,6 +337,15 @@ func (f *Framework) EvaluateTechniques(w workload.Spec, outage time.Duration) []
 // system technique that offers the highest performance and lowest down
 // time". Survival dominates, then higher performance, then lower downtime.
 func (f *Framework) BestForConfig(b cost.Backup, w workload.Spec, outage time.Duration) (cluster.Result, technique.Technique) {
+	res, tech, _ := f.BestForConfigCtx(context.Background(), b, w, outage)
+	return res, tech
+}
+
+// BestForConfigCtx is BestForConfig with the candidate race fanned out
+// through the sweep engine. Candidates are compared in enumeration order
+// after the parallel evaluation, so ties resolve exactly as in a serial
+// run. The error is non-nil only on context cancellation.
+func (f *Framework) BestForConfigCtx(ctx context.Context, b cost.Backup, w workload.Spec, outage time.Duration) (cluster.Result, technique.Technique, error) {
 	candidates := append([]variant{
 		{"Baseline", technique.Baseline{}},
 	}, f.variants()...)
@@ -264,6 +355,22 @@ func (f *Framework) BestForConfig(b cost.Backup, w workload.Spec, outage time.Du
 	if b.UPS.Provisioned() {
 		candidates = append(candidates,
 			variant{"CappedThrottling", technique.CappedThrottling{Budget: b.UPS.PowerCapacity}})
+	}
+	type candResult struct {
+		res cluster.Result
+		ok  bool
+	}
+	results, err := sweep.Map(ctx, candidates, func(_ context.Context, v variant) (candResult, error) {
+		res, err := f.Evaluate(b, v.tech, w, outage)
+		if err != nil {
+			// An unevaluable candidate is skipped, exactly as the serial
+			// loop did; it must not abort the race.
+			return candResult{}, nil
+		}
+		return candResult{res: res, ok: true}, nil
+	})
+	if err != nil {
+		return cluster.Result{}, nil, err
 	}
 	var bestRes cluster.Result
 	var bestTech technique.Technique
@@ -277,14 +384,13 @@ func (f *Framework) BestForConfig(b cost.Backup, w workload.Spec, outage time.Du
 		}
 		return a.Downtime < b.Downtime
 	}
-	for _, v := range candidates {
-		res, err := f.Evaluate(b, v.tech, w, outage)
-		if err != nil {
+	for i, r := range results {
+		if !r.ok {
 			continue
 		}
-		if !have || better(res, bestRes) {
-			bestRes, bestTech, have = res, v.tech, true
+		if !have || better(r.res, bestRes) {
+			bestRes, bestTech, have = r.res, candidates[i].tech, true
 		}
 	}
-	return bestRes, bestTech
+	return bestRes, bestTech, nil
 }

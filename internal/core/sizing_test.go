@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"backuppower/internal/battery"
+	"backuppower/internal/cluster"
+	"backuppower/internal/genset"
+	"backuppower/internal/sweep"
+	"backuppower/internal/technique"
+	"backuppower/internal/workload"
+)
+
+// TestMinCostUPSRuntimeRoundedUpOnce is the regression test for the
+// double-padding bug: the sized pack's runtime must be a whole number of
+// seconds, the sized configuration must survive its design outage (the
+// margin is still sufficient), and the ceiling must be tight — at most one
+// second above the 0.1%-margined requirement, where the old code padded up
+// to two extra seconds.
+func TestMinCostUPSRuntimeRoundedUpOnce(t *testing.T) {
+	f := New(16)
+	cases := []struct {
+		tech   technique.Technique
+		outage time.Duration
+	}{
+		{technique.Throttling{PState: 6}, 30 * time.Minute},
+		{technique.Sleep{LowPower: true}, 30 * time.Minute},
+		{technique.ThrottleThenSave{PState: 6, Save: technique.SaveSleep, ActiveFraction: 0.25}, 2 * time.Hour},
+		{technique.Hibernate{}, time.Hour},
+	}
+	for _, c := range cases {
+		op, ok := f.MinCostUPS(c.tech, workload.Specjbb(), c.outage)
+		if !ok {
+			t.Fatalf("%s @ %v: sizing failed", c.tech.Name(), c.outage)
+		}
+		rt := op.Backup.UPS.Runtime
+		if rt != rt.Truncate(time.Second) {
+			t.Errorf("%s @ %v: runtime %v not whole seconds", c.tech.Name(), c.outage, rt)
+		}
+		// Tightness: re-derive the margined requirement at the chosen
+		// rating and check the ceiling added less than a full second.
+		plan := c.tech.Plan(f.Env, workload.Specjbb(), c.outage)
+		la := battery.LeadAcid()
+		need, okNeed := cluster.RequiredRuntime(f.Env, workload.Specjbb(), plan, genset.None(),
+			c.outage, op.Backup.UPS.PowerCapacity, la.PeukertExponent, la.MinLoadFraction)
+		if !okNeed {
+			t.Fatalf("%s @ %v: requirement underivable at chosen rating", c.tech.Name(), c.outage)
+		}
+		margined := time.Duration(float64(need) * 1.001)
+		if rt < margined {
+			t.Errorf("%s @ %v: runtime %v below margined requirement %v",
+				c.tech.Name(), c.outage, rt, margined)
+		}
+		// CustomTech floors the pack at the battery's free runtime; the
+		// tightness bound only applies above that floor.
+		if margined > la.FreeRunTime && rt > margined+time.Second {
+			t.Errorf("%s @ %v: runtime %v > %v — more than a single round-up above the requirement",
+				c.tech.Name(), c.outage, rt, margined+time.Second)
+		}
+		// The sized pack must still ride out the design outage.
+		res, err := f.Evaluate(op.Backup, c.tech, workload.Specjbb(), c.outage)
+		if err != nil || !res.Survived {
+			t.Errorf("%s @ %v: sized pack does not survive (err=%v, res=%+v)",
+				c.tech.Name(), c.outage, err, res)
+		}
+	}
+}
+
+// TestMinCostUPSParallelMatchesSerial pins the engine's determinism
+// contract at the core layer: the rating sweep and variant fan-out must
+// produce identical operating points at any pool width.
+func TestMinCostUPSParallelMatchesSerial(t *testing.T) {
+	w := workload.Specjbb()
+	outage := 30 * time.Minute
+
+	serialCtx := sweep.WithWidth(context.Background(), 1)
+	parallelCtx := sweep.WithWidth(context.Background(), 8)
+
+	for _, tech := range []technique.Technique{
+		technique.Throttling{PState: 3},
+		technique.Sleep{LowPower: true},
+		technique.Hibernate{Proactive: true},
+	} {
+		f := New(16)
+		s, okS, errS := f.MinCostUPSCtx(serialCtx, tech, w, outage)
+		p, okP, errP := f.MinCostUPSCtx(parallelCtx, tech, w, outage)
+		if errS != nil || errP != nil {
+			t.Fatalf("%s: errs %v %v", tech.Name(), errS, errP)
+		}
+		if okS != okP {
+			t.Fatalf("%s: feasibility differs serial=%v parallel=%v", tech.Name(), okS, okP)
+		}
+		if s.Backup != p.Backup || s.NormCost != p.NormCost {
+			t.Errorf("%s: serial %+v != parallel %+v", tech.Name(), s.Backup, p.Backup)
+		}
+	}
+}
+
+// TestEvaluateTechniquesParallelMatchesSerial does the same one layer up:
+// full family summaries, serial vs parallel, must agree band for band.
+func TestEvaluateTechniquesParallelMatchesSerial(t *testing.T) {
+	f := New(16)
+	w := workload.Memcached()
+	serial, errS := f.EvaluateTechniquesCtx(sweep.WithWidth(context.Background(), 1), w, 30*time.Minute)
+	parallel, errP := f.EvaluateTechniquesCtx(sweep.WithWidth(context.Background(), 8), w, 30*time.Minute)
+	if errS != nil || errP != nil {
+		t.Fatalf("errs %v %v", errS, errP)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Technique != p.Technique || s.Feasible != p.Feasible ||
+			s.Cost != p.Cost || s.Perf != p.Perf || s.Downtime != p.Downtime ||
+			len(s.Points) != len(p.Points) {
+			t.Errorf("family %s differs:\nserial   %+v\nparallel %+v", s.Technique, s, p)
+		}
+	}
+}

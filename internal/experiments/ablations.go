@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,7 +18,7 @@ import (
 // AblationPeukert contrasts the Peukert battery model against an idealized
 // linear one: the linear model misses the low-load runtime stretch that
 // makes Sleep-L so cheap.
-func AblationPeukert() report.Table {
+func AblationPeukert(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Ablation: Peukert vs linear battery discharge",
 		Columns: []string{"load", "Peukert runtime", "linear runtime", "stretch lost"},
@@ -40,7 +41,7 @@ func AblationPeukert() report.Table {
 
 // AblationProactiveInterval sweeps the proactive flush interval for SPECjbb
 // and shows the post-failure residue and migration time.
-func AblationProactiveInterval() report.Table {
+func AblationProactiveInterval(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Ablation: proactive flush interval (SPECjbb)",
 		Columns: []string{"interval", "residue", "post-failure migration", "background bw"},
@@ -58,7 +59,7 @@ func AblationProactiveInterval() report.Table {
 }
 
 // AblationConsolidation contrasts 2:1 against 4:1 consolidation.
-func AblationConsolidation() report.Table {
+func AblationConsolidation(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Ablation: consolidation factor (SPECjbb, 1h outage)",
 		Columns: []string{"factor", "cost", "perf", "downtime"},
@@ -66,7 +67,11 @@ func AblationConsolidation() report.Table {
 	f := framework()
 	w := workload.Specjbb()
 	for _, factor := range []int{2, 4} {
-		op, ok := f.MinCostUPS(technique.Migration{Factor: factor}, w, time.Hour)
+		op, ok, err := f.MinCostUPSCtx(ctx, technique.Migration{Factor: factor}, w, time.Hour)
+		if err != nil {
+			t.Notes = append(t.Notes, "failed: "+err.Error())
+			return t
+		}
 		if !ok {
 			t.AddRow(factor, "infeasible", "-", "-")
 			continue
@@ -80,7 +85,7 @@ func AblationConsolidation() report.Table {
 
 // AblationDGStartup sweeps the DG start-up delay and reports the UPS bridge
 // energy a full-power datacenter needs.
-func AblationDGStartup() report.Table {
+func AblationDGStartup(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Ablation: DG start-up delay sensitivity",
 		Columns: []string{"startup delay", "transfer complete", "bridge runtime needed"},
@@ -107,7 +112,7 @@ func AblationDGStartup() report.Table {
 
 // AblationLiIon compares lead-acid and Li-ion economics for the
 // long-runtime configurations that replace DGs.
-func AblationLiIon() report.Table {
+func AblationLiIon(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Ablation: Li-ion vs lead-acid pack cost (1 MW rating)",
 		Columns: []string{"runtime", "lead-acid $/yr", "li-ion $/yr", "li-ion premium"},

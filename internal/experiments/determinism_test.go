@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"backuppower/internal/core"
+	"backuppower/internal/sweep"
+)
+
+// TestParallelRunsAreByteIdentical is the engine's headline contract: a
+// parallel regeneration must render byte-identical tables to the serial
+// reference run. Fig 6 (variant race × rating sweep × duration fan-out)
+// and the availability Monte-Carlo (per-config × per-year fan-out with
+// derived seeds) are the two structurally deepest experiments, so they
+// pin the contract for everything else.
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig6 + Monte-Carlo regeneration")
+	}
+	for _, id := range []string{"fig6", "ext-availability"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("missing experiment %s", id)
+			}
+			// Purge the scenario cache between runs so the parallel run
+			// cannot trivially replay the serial run's memoized results.
+			core.ResetScenarioCache()
+			serial := e.Run(sweep.WithWidth(context.Background(), 1))
+			core.ResetScenarioCache()
+			parallel := e.Run(sweep.WithWidth(context.Background(), 8))
+
+			if len(serial.Rows) == 0 {
+				t.Fatal("serial run produced no rows")
+			}
+			if len(serial.Rows) != len(parallel.Rows) {
+				t.Fatalf("row counts differ: serial %d, parallel %d",
+					len(serial.Rows), len(parallel.Rows))
+			}
+			for i := range serial.Rows {
+				s, p := serial.Rows[i], parallel.Rows[i]
+				if len(s) != len(p) {
+					t.Fatalf("row %d width differs: %v vs %v", i, s, p)
+				}
+				for j := range s {
+					if s[j] != p[j] {
+						t.Errorf("row %d cell %d: serial %q != parallel %q", i, j, s[j], p[j])
+					}
+				}
+			}
+			if serial.String() != parallel.String() {
+				t.Error("rendered tables differ byte-wise")
+			}
+		})
+	}
+}
+
+// TestRunAllOrderMatchesRegistry checks the parallel registry runner
+// returns tables in registry order (a cheap structural check on a small
+// slice of the registry, so the full suite is not regenerated twice).
+func TestRunAllOrderMatchesRegistry(t *testing.T) {
+	reg := Registry()[:4] // fig1, fig3, table1, table2 — all cheap
+	tables, err := RunAll(sweep.WithWidth(context.Background(), 4), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(reg) {
+		t.Fatalf("tables = %d, want %d", len(tables), len(reg))
+	}
+	for i, e := range reg {
+		want := e.Run(context.Background())
+		if tables[i].Title != want.Title {
+			t.Errorf("position %d: got %q, want %q", i, tables[i].Title, want.Title)
+		}
+	}
+}

@@ -6,11 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"backuppower/internal/core"
 	"backuppower/internal/report"
+	"backuppower/internal/sweep"
 )
 
 // DefaultServers is the simulated fleet size. The metrics reported are
@@ -18,11 +20,14 @@ import (
 // size only sets absolute watt numbers.
 const DefaultServers = 16
 
-// Experiment is one regenerable table or figure.
+// Experiment is one regenerable table or figure. Run receives the context
+// that carries cancellation and the sweep pool width: every scenario
+// fan-out beneath it (variant races, rating sweeps, Monte-Carlo years)
+// routes through internal/sweep and honors both.
 type Experiment struct {
 	ID    string // e.g. "fig5", "table3", "ablation-peukert"
 	Title string
-	Run   func() report.Table
+	Run   func(context.Context) report.Table
 }
 
 // Registry lists every experiment in paper order, followed by the
@@ -86,6 +91,19 @@ func IDs() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// RunAll regenerates the given experiments through the sweep engine and
+// returns their tables in input order — the parallel equivalent of calling
+// each Run in sequence, with byte-identical output. The error is non-nil
+// only on context cancellation.
+func RunAll(ctx context.Context, reg []Experiment) ([]report.Table, error) {
+	return sweep.Map(ctx, reg, func(ctx context.Context, e Experiment) (report.Table, error) {
+		if err := ctx.Err(); err != nil {
+			return report.Table{}, err
+		}
+		return e.Run(ctx), nil
+	})
 }
 
 // framework returns the shared evaluation framework.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -70,7 +71,7 @@ func TestStaticExperimentsRender(t *testing.T) {
 			t.Errorf("missing %s", id)
 			continue
 		}
-		out := e.Run().String()
+		out := e.Run(context.Background()).String()
 		for _, w := range wants {
 			if !strings.Contains(out, w) {
 				t.Errorf("%s output missing %q:\n%s", id, w, out)
@@ -80,7 +81,7 @@ func TestStaticExperimentsRender(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	tb := Fig5()
+	tb := Fig5(context.Background())
 	// 6 configs x 5 durations.
 	if len(tb.Rows) != 30 {
 		t.Fatalf("fig5 rows = %d, want 36", len(tb.Rows))
@@ -180,7 +181,7 @@ func TestFig8And9Render(t *testing.T) {
 		func() Experiment { e, _ := ByID("fig9"); return e },
 	} {
 		e := fn()
-		out := e.Run().String()
+		out := e.Run(context.Background()).String()
 		if !strings.Contains(out, "Throttling") || !strings.Contains(out, "Sleep") {
 			t.Errorf("%s output incomplete:\n%s", e.ID, out)
 		}
@@ -188,7 +189,7 @@ func TestFig8And9Render(t *testing.T) {
 }
 
 func TestAblationConsolidationRuns(t *testing.T) {
-	out := AblationConsolidation().String()
+	out := AblationConsolidation(context.Background()).String()
 	if !strings.Contains(out, "2") || !strings.Contains(out, "4") {
 		t.Errorf("consolidation ablation incomplete:\n%s", out)
 	}

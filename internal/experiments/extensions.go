@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,7 +23,7 @@ import (
 // ExtAvailability runs the yearly Monte-Carlo across the headline
 // configurations: the operator's decision table combining Figures 1, 5 and
 // 10 (availability, downtime, revenue loss vs DG savings).
-func ExtAvailability() report.Table {
+func ExtAvailability(ctx context.Context) report.Table {
 	t := report.Table{
 		Title: "Extension: yearly availability per configuration (SPECjbb, 25 years)",
 		Columns: []string{"configuration", "cost", "downtime/yr", "nines",
@@ -34,7 +35,7 @@ func ExtAvailability() report.Table {
 		cost.MaxPerf(peak), cost.DGSmallPUPS(peak), cost.LargeEUPS(peak),
 		cost.NoDG(peak), cost.SmallPLargeEUPS(peak), cost.MinCost(peak),
 	}
-	sums, err := availability.CompareConfigs(f, workload.Specjbb(), configs, 25, 2014)
+	sums, err := availability.CompareConfigsCtx(ctx, f, workload.Specjbb(), configs, 25, 2014)
 	if err != nil {
 		t.Notes = append(t.Notes, "failed: "+err.Error())
 		return t
@@ -59,7 +60,7 @@ func ExtAvailability() report.Table {
 // ExtNVDIMM quantifies the §7 NVDIMM enhancement: persistence without
 // backup power, and NVDIMM+Throttle's ability to run the battery to
 // exhaustion safely.
-func ExtNVDIMM() report.Table {
+func ExtNVDIMM(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: NVDIMM (§7) — SPECjbb",
 		Columns: []string{"technique", "outage", "cost", "perf", "downtime", "state safe"},
@@ -72,7 +73,11 @@ func ExtNVDIMM() report.Table {
 			technique.NVDIMMThrottle{PState: 6},
 			technique.Hibernate{}, // the save-state technique NVDIMM replaces
 		} {
-			op, ok := f.MinCostUPS(tech, w, d)
+			op, ok, err := f.MinCostUPSCtx(ctx, tech, w, d)
+			if err != nil {
+				t.Notes = append(t.Notes, "failed: "+err.Error())
+				return t
+			}
 			if !ok {
 				t.AddRow(tech.Name(), d, "infeasible", "-", "-", "-")
 				continue
@@ -104,7 +109,7 @@ func ExtNVDIMM() report.Table {
 // ExtGeoFailover quantifies request redirection to a geo-replicated site
 // for the very long outages the paper says DG-less datacenters should not
 // try to ride locally.
-func ExtGeoFailover() report.Table {
+func ExtGeoFailover(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: geo-failover for very long outages (Web-search)",
 		Columns: []string{"technique", "outage", "cost", "perf", "downtime"},
@@ -117,7 +122,11 @@ func ExtGeoFailover() report.Table {
 			technique.GeoFailover{Save: technique.SaveSleep},
 			technique.ThrottleThenSave{PState: 6, Save: technique.SaveSleep, ActiveFraction: 0.1},
 		} {
-			op, ok := f.MinCostUPS(tech, w, d)
+			op, ok, err := f.MinCostUPSCtx(ctx, tech, w, d)
+			if err != nil {
+				t.Notes = append(t.Notes, "failed: "+err.Error())
+				return t
+			}
 			if !ok {
 				t.AddRow(tech.Name(), d, "infeasible", "-", "-")
 				continue
@@ -132,7 +141,7 @@ func ExtGeoFailover() report.Table {
 }
 
 // ExtBarelyAlive quantifies the RDMA-over-sleep idea against plain sleep.
-func ExtBarelyAlive() report.Table {
+func ExtBarelyAlive(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: barely-alive (RDMA over sleep) — Memcached, 1h outage",
 		Columns: []string{"technique", "cost", "perf", "downtime"},
@@ -144,7 +153,11 @@ func ExtBarelyAlive() report.Table {
 		technique.BarelyAlive{},
 		technique.BarelyAlive{ServedPerf: 0.2, ExtraPower: 35},
 	} {
-		op, ok := f.MinCostUPS(tech, w, time.Hour)
+		op, ok, err := f.MinCostUPSCtx(ctx, tech, w, time.Hour)
+		if err != nil {
+			t.Notes = append(t.Notes, "failed: "+err.Error())
+			return t
+		}
 		if !ok {
 			t.AddRow(tech.Name(), "infeasible", "-", "-")
 			continue
@@ -158,7 +171,7 @@ func ExtBarelyAlive() report.Table {
 
 // ExtLiIonSizing re-runs the technique sizing under Li-ion economics
 // (§7: pricier energy favors save-state over sustain-execution).
-func ExtLiIonSizing() report.Table {
+func ExtLiIonSizing(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: Li-ion vs lead-acid sizing (SPECjbb, 1h outage)",
 		Columns: []string{"technique", "lead-acid cost", "li-ion cost", "shift"},
@@ -173,8 +186,12 @@ func ExtLiIonSizing() report.Table {
 		technique.Hibernate{Proactive: true},
 		technique.ThrottleThenSave{PState: 6, Save: technique.SaveSleep, ActiveFraction: 0.25},
 	} {
-		a, okA := la.MinCostUPS(tech, w, time.Hour)
-		b, okB := li.MinCostUPS(tech, w, time.Hour)
+		a, okA, errA := la.MinCostUPSCtx(ctx, tech, w, time.Hour)
+		b, okB, errB := li.MinCostUPSCtx(ctx, tech, w, time.Hour)
+		if errA != nil || errB != nil {
+			t.Notes = append(t.Notes, "failed: context cancelled")
+			return t
+		}
 		if !okA || !okB {
 			t.AddRow(tech.Name(), "-", "-", "-")
 			continue
@@ -192,7 +209,7 @@ func ExtLiIonSizing() report.Table {
 // spare capacity was set aside, and the spare capacity IS a cost. The table
 // shows the service level after one site failure across fleet utilizations,
 // and a sampled year of decorrelated site outages.
-func ExtGeoFleet() report.Table {
+func ExtGeoFleet(context.Context) report.Table {
 	t := report.Table{
 		Title: "Extension: geo-replicated fleet failover (§7)",
 		Columns: []string{"sites", "utilization", "needed headroom",
@@ -222,7 +239,7 @@ func ExtGeoFleet() report.Table {
 
 // ExtWear contrasts backup duty against peak-shaving duty on battery
 // aging — Section 2's claim that wear "is less important" for backup.
-func ExtWear() report.Table {
+func ExtWear(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: battery wear — backup vs peak-shaving duty",
 		Columns: []string{"chemistry", "duty", "cycles/yr", "DoD", "life (years)", "cost multiplier"},
@@ -255,7 +272,7 @@ func ExtWear() report.Table {
 
 // ExtUPSTopology quantifies §3's online-vs-offline remark: the normal-
 // operation conversion tax that makes datacenters deploy offline UPSes.
-func ExtUPSTopology() report.Table {
+func ExtUPSTopology(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: online vs offline UPS (1 MW rating, 80% load, $0.07/KWh)",
 		Columns: []string{"design", "normal-op loss", "loss $/yr", "vs UPS cap-ex"},
@@ -277,7 +294,7 @@ func ExtUPSTopology() report.Table {
 // ExtPolicy quantifies §7's first challenge — handling UNKNOWN outage
 // durations — by racing the online adaptive policy (Markov predictor +
 // escalation ladder) against the oracle that knew each duration.
-func ExtPolicy() report.Table {
+func ExtPolicy(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: adaptive policy vs duration oracle (SPECjbb, LargeEUPS)",
 		Columns: []string{"outage", "who", "perf", "downtime", "survived", "modes"},
@@ -308,7 +325,7 @@ func ExtPolicy() report.Table {
 
 // ExtOpEx checks the paper's Section 3 assumption that DG op-ex is
 // negligible against cap-ex, across yearly outage exposure.
-func ExtOpEx() report.Table {
+func ExtOpEx(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: DG op-ex vs cap-ex (10 MW datacenter)",
 		Columns: []string{"outage/yr", "fuel+maint $/yr", "cap-ex $/yr", "op-ex share", "negligible (<15%)"},
@@ -330,7 +347,7 @@ func ExtOpEx() report.Table {
 // ExtPortfolio designs a heterogeneous datacenter (§7's second challenge):
 // per-application sections with individually sized backups, against the
 // all-MaxPerf alternative.
-func ExtPortfolio() report.Table {
+func ExtPortfolio(ctx context.Context) report.Table {
 	t := report.Table{
 		Title: "Extension: heterogeneous portfolio design (§7)",
 		Columns: []string{"workload", "servers", "technique", "backup",
@@ -352,7 +369,7 @@ func ExtPortfolio() report.Table {
 			Outage: 30 * time.Minute, MinPerf: 0, MaxDowntime: 2 * time.Hour,
 		}},
 	}
-	plan, err := p.Design(reqs)
+	plan, err := p.DesignCtx(ctx, reqs)
 	if err != nil {
 		t.Notes = append(t.Notes, "design failed: "+err.Error())
 		return t
@@ -371,7 +388,7 @@ func ExtPortfolio() report.Table {
 // from "recompute the whole run" to "recompute one interval" (§6's
 // checkpointing aside), which changes whether MinCost is tolerable for
 // batch work.
-func ExtCheckpoint() report.Table {
+func ExtCheckpoint(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: HPC checkpoint interval vs crash downtime (30s outage, MinCost)",
 		Columns: []string{"checkpoint interval", "downtime min", "downtime max", "downtime mid"},
@@ -398,7 +415,7 @@ func ExtCheckpoint() report.Table {
 // ExtDiurnal contrasts the paper's steady near-peak assumption against a
 // diurnal load profile in the yearly availability Monte-Carlo: outages
 // landing at the trough are easier to ride on a small battery.
-func ExtDiurnal() report.Table {
+func ExtDiurnal(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: diurnal load vs steady peak (NoDG, SPECjbb, 25 years)",
 		Columns: []string{"load profile", "downtime/yr", "state losses/yr", "service loss/yr"},
@@ -407,7 +424,7 @@ func ExtDiurnal() report.Table {
 	b := cost.NoDG(f.Env.PeakPower())
 	run := func(name string, prof loadprofile.Profile) {
 		p := &availability.Planner{Framework: f, Workload: workload.Specjbb(), Backup: b, Load: prof}
-		sum, _, err := p.SimulateYears(25, 2014)
+		sum, _, err := p.SimulateYearsCtx(ctx, 25, 2014)
 		if err != nil {
 			t.Notes = append(t.Notes, name+" failed: "+err.Error())
 			return
@@ -425,7 +442,7 @@ func ExtDiurnal() report.Table {
 // ExtPlacement runs the FreeRunTime sensitivity the companion tech report
 // covers: server-level batteries come with a smaller free base runtime, so
 // the 'free bridge' shrinks and short-outage costs rise.
-func ExtPlacement() report.Table {
+func ExtPlacement(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Extension: UPS placement / free-runtime sensitivity (NoDG cost)",
 		Columns: []string{"free runtime", "NoDG normalized cost", "42-min pack cost"},

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestExtAvailabilityTable(t *testing.T) {
-	tb := ExtAvailability()
+	tb := ExtAvailability(context.Background())
 	if len(tb.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
@@ -28,7 +29,7 @@ func TestExtAvailabilityTable(t *testing.T) {
 }
 
 func TestExtNVDIMMTable(t *testing.T) {
-	tb := ExtNVDIMM()
+	tb := ExtNVDIMM(context.Background())
 	out := tb.String()
 	if !strings.Contains(out, "NVDIMM") || !strings.Contains(out, "Hibernate") {
 		t.Fatalf("incomplete:\n%s", out)
@@ -42,7 +43,7 @@ func TestExtNVDIMMTable(t *testing.T) {
 }
 
 func TestExtGeoFailoverTable(t *testing.T) {
-	tb := ExtGeoFailover()
+	tb := ExtGeoFailover(context.Background())
 	out := tb.String()
 	if !strings.Contains(out, "GeoFailover") {
 		t.Fatalf("incomplete:\n%s", out)
@@ -63,7 +64,7 @@ func TestExtGeoFailoverTable(t *testing.T) {
 }
 
 func TestExtBarelyAliveTable(t *testing.T) {
-	tb := ExtBarelyAlive()
+	tb := ExtBarelyAlive(context.Background())
 	if len(tb.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
@@ -77,7 +78,7 @@ func TestExtBarelyAliveTable(t *testing.T) {
 }
 
 func TestExtLiIonSizingTable(t *testing.T) {
-	tb := ExtLiIonSizing()
+	tb := ExtLiIonSizing(context.Background())
 	out := tb.String()
 	if !strings.Contains(out, "Throttling") || !strings.Contains(out, "%") {
 		t.Fatalf("incomplete:\n%s", out)
@@ -85,7 +86,7 @@ func TestExtLiIonSizingTable(t *testing.T) {
 }
 
 func TestExtPlacementTable(t *testing.T) {
-	tb := ExtPlacement()
+	tb := ExtPlacement(context.Background())
 	if len(tb.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}

@@ -1,12 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"backuppower/internal/cluster"
+	"backuppower/internal/core"
 	"backuppower/internal/cost"
 	"backuppower/internal/report"
+	"backuppower/internal/sweep"
 	"backuppower/internal/tco"
+	"backuppower/internal/technique"
 	"backuppower/internal/units"
 	"backuppower/internal/workload"
 )
@@ -26,24 +31,45 @@ func fig5Configs(peak units.Watts) []cost.Backup {
 
 // Fig5 reproduces the configuration trade-off study for SPECjbb: for every
 // configuration and outage duration, the best technique's performance and
-// down time (Figure 5's selection rule), plus the configuration cost.
-func Fig5() report.Table {
+// down time (Figure 5's selection rule), plus the configuration cost. The
+// 6×5 (configuration, duration) grid fans out through the sweep engine;
+// rows are emitted in grid order so the table matches a serial run.
+func Fig5(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Figure 5: cost/performance/downtime of configurations (SPECjbb)",
 		Columns: []string{"configuration", "cost", "outage", "best technique", "perf", "downtime"},
 	}
 	f := framework()
 	w := workload.Specjbb()
+	type cell struct {
+		b cost.Backup
+		d time.Duration
+	}
+	var grid []cell
 	for _, b := range fig5Configs(f.Env.PeakPower()) {
 		for _, d := range fig5Durations {
-			res, tech := f.BestForConfig(b, w, d)
-			name := "-"
-			if tech != nil {
-				name = tech.Name()
-			}
-			t.AddRow(b.Name, b.NormalizedCost(f.Env.PeakPower()), d, name,
-				res.Perf, report.DurationBand(res.DowntimeMin, res.DowntimeMax))
+			grid = append(grid, cell{b, d})
 		}
+	}
+	type cellOut struct {
+		res  cluster.Result
+		tech technique.Technique
+	}
+	outs, err := sweep.Map(ctx, grid, func(ctx context.Context, c cell) (cellOut, error) {
+		res, tech, err := f.BestForConfigCtx(ctx, c.b, w, c.d)
+		return cellOut{res, tech}, err
+	})
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	for i, o := range outs {
+		name := "-"
+		if o.tech != nil {
+			name = o.tech.Name()
+		}
+		t.AddRow(grid[i].b.Name, grid[i].b.NormalizedCost(f.Env.PeakPower()), grid[i].d, name,
+			o.res.Perf, report.DurationBand(o.res.DowntimeMin, o.res.DowntimeMax))
 	}
 	t.Notes = append(t.Notes,
 		"paper: LargeEUPS matches MaxPerf perf to 30m at 0.55 cost; NoDG dies past ~2m; MinCost ~400s down even for 30s")
@@ -51,15 +77,25 @@ func Fig5() report.Table {
 }
 
 // figTechniques renders the Figures 6-9 layout for one workload: for each
-// outage duration and technique family, the min-cost operating band.
-func figTechniques(title string, w workload.Spec, durations []time.Duration) report.Table {
+// outage duration and technique family, the min-cost operating band. The
+// durations fan out in parallel (each duration's variant race is itself
+// parallel); rows stay in duration order.
+func figTechniques(ctx context.Context, title string, w workload.Spec, durations []time.Duration) report.Table {
 	t := report.Table{
 		Title:   title,
 		Columns: []string{"outage", "technique", "cost", "perf", "downtime"},
 	}
 	f := framework()
-	for _, d := range durations {
-		for _, s := range f.EvaluateTechniques(w, d) {
+	sums, err := sweep.Map(ctx, durations, func(ctx context.Context, d time.Duration) ([]core.TechniqueSummary, error) {
+		return f.EvaluateTechniquesCtx(ctx, w, d)
+	})
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	for i, perDuration := range sums {
+		d := durations[i]
+		for _, s := range perDuration {
 			if !s.Feasible {
 				t.AddRow(d, s.Technique, "infeasible", "-", "-")
 				continue
@@ -74,8 +110,8 @@ func figTechniques(title string, w workload.Spec, durations []time.Duration) rep
 }
 
 // Fig6 reproduces the SPECjbb technique study across five durations.
-func Fig6() report.Table {
-	t := figTechniques("Figure 6: outage duration impact on techniques (SPECjbb)",
+func Fig6(ctx context.Context) report.Table {
+	t := figTechniques(ctx, "Figure 6: outage duration impact on techniques (SPECjbb)",
 		workload.Specjbb(), fig5Durations)
 	t.Notes = append(t.Notes,
 		"paper: throttling best for short outages; Throttle+Sleep-L for medium; sustain-execution infeasible below ~0.56 cost at 2h")
@@ -83,8 +119,8 @@ func Fig6() report.Table {
 }
 
 // Fig7 reproduces the Memcached study (short/medium/long).
-func Fig7() report.Table {
-	t := figTechniques("Figure 7: trade-offs for Memcached",
+func Fig7(ctx context.Context) report.Table {
+	t := figTechniques(ctx, "Figure 7: trade-offs for Memcached",
 		workload.Memcached(), []time.Duration{30 * time.Second, 30 * time.Minute, 2 * time.Hour})
 	t.Notes = append(t.Notes,
 		"paper: hibernation (1140s) worse than crash+reload (480s); throttling perf better than SPECjbb; proactive migration ~20% extra savings")
@@ -92,8 +128,8 @@ func Fig7() report.Table {
 }
 
 // Fig8 reproduces the Web-search study.
-func Fig8() report.Table {
-	t := figTechniques("Figure 8: trade-offs for Web-search",
+func Fig8(ctx context.Context) report.Table {
+	t := figTechniques(ctx, "Figure 8: trade-offs for Web-search",
 		workload.WebSearch(), []time.Duration{30 * time.Second, 30 * time.Minute, 2 * time.Hour})
 	t.Notes = append(t.Notes,
 		"paper: losing memory hurts (600s down for MinCost vs 400s for hibernation)")
@@ -101,8 +137,8 @@ func Fig8() report.Table {
 }
 
 // Fig9 reproduces the SpecCPU study.
-func Fig9() report.Table {
-	t := figTechniques("Figure 9: trade-offs for SpecCPU (mcf x 8)",
+func Fig9(ctx context.Context) report.Table {
+	t := figTechniques(ctx, "Figure 9: trade-offs for SpecCPU (mcf x 8)",
 		workload.SpecCPU(), []time.Duration{30 * time.Second, 30 * time.Minute, 2 * time.Hour})
 	t.Notes = append(t.Notes,
 		"paper: crash downtime spans a large range depending on where in the run the outage hits")
@@ -110,7 +146,7 @@ func Fig9() report.Table {
 }
 
 // Fig10 reproduces the TCO cross-over analysis.
-func Fig10() report.Table {
+func Fig10(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Figure 10: revenue loss vs DG savings (Google 2011)",
 		Columns: []string{"yearly outage", "loss $/KW/yr", "DG savings $/KW/yr", "profitable"},

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,7 +16,7 @@ import (
 // (described in prose; detailed in the companion tech report): SPECjbb's
 // state size is varied and each technique family re-evaluated. Smaller
 // state shrinks hibernate/migrate times; sleep is unaffected.
-func MemSize() report.Table {
+func MemSize(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Section 6.2: SPECjbb memory-usage sensitivity (30 min outage)",
 		Columns: []string{"state size", "technique", "cost", "perf", "downtime"},
@@ -29,7 +30,11 @@ func MemSize() report.Table {
 			technique.Migration{},
 			technique.Throttling{PState: 6},
 		} {
-			op, ok := f.MinCostUPS(tech, w, 30*time.Minute)
+			op, ok, err := f.MinCostUPSCtx(ctx, tech, w, 30*time.Minute)
+			if err != nil {
+				t.Notes = append(t.Notes, "failed: "+err.Error())
+				return t
+			}
 			if !ok {
 				t.AddRow(fmt.Sprintf("%d GiB", gb), tech.Name(), "infeasible", "-", "-")
 				continue
@@ -63,7 +68,7 @@ func specjbbWithFootprint(gb int) workload.Spec {
 // proportionality in today's servers": as servers approach proportionality
 // (idle power → 0), consolidation's advantage evaporates because vacating
 // a server stops saving its idle watts.
-func Proportionality() report.Table {
+func Proportionality(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Ablation: energy proportionality vs migration's advantage (SPECjbb, 1h)",
 		Columns: []string{"idle power", "idle/peak", "throttle cost", "migration cost", "migration wins"},
@@ -73,8 +78,12 @@ func Proportionality() report.Table {
 		env.Server.IdleW = idle
 		f := &core.Framework{Env: env}
 		w := workload.Specjbb()
-		thr, ok1 := f.MinCostUPS(technique.Throttling{PState: 6}, w, time.Hour)
-		mig, ok2 := f.MinCostUPS(technique.Migration{ThrottleDeep: true}, w, time.Hour)
+		thr, ok1, err1 := f.MinCostUPSCtx(ctx, technique.Throttling{PState: 6}, w, time.Hour)
+		mig, ok2, err2 := f.MinCostUPSCtx(ctx, technique.Migration{ThrottleDeep: true}, w, time.Hour)
+		if err1 != nil || err2 != nil {
+			t.Notes = append(t.Notes, "failed: context cancelled")
+			return t
+		}
 		if !ok1 || !ok2 {
 			t.AddRow(idle, "-", "-", "-", "-")
 			continue

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 )
 
 // Fig1 reproduces the outage frequency and duration histograms.
-func Fig1() report.Table {
+func Fig1(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Figure 1: power outage distributions for US businesses",
 		Columns: []string{"histogram", "bucket", "share"},
@@ -41,7 +42,7 @@ func Fig1() report.Table {
 }
 
 // Fig3 reproduces the battery runtime chart for the 4 KW APC pack.
-func Fig3() report.Table {
+func Fig3(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Figure 3: runtime for a battery with max power of 4 KW",
 		Columns: []string{"load", "watts", "runtime", "energy delivered"},
@@ -57,7 +58,7 @@ func Fig3() report.Table {
 }
 
 // Table1 prints the cost-model parameters.
-func Table1() report.Table {
+func Table1(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Table 1: DG and UPS cost estimation parameters",
 		Columns: []string{"parameter", "value"},
@@ -72,7 +73,7 @@ func Table1() report.Table {
 }
 
 // Table2 reproduces the backup cost table for three capacity points.
-func Table2() report.Table {
+func Table2(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Table 2: amortized annual backup cost",
 		Columns: []string{"peak power", "UPS runtime", "DG cost", "UPS cost", "total"},
@@ -94,7 +95,7 @@ func Table2() report.Table {
 }
 
 // Table3 reproduces the named configurations and their normalized costs.
-func Table3() report.Table {
+func Table3(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Table 3: underprovisioning configurations",
 		Columns: []string{"configuration", "DG power", "UPS power", "UPS energy", "normalized cost"},
@@ -110,7 +111,7 @@ func Table3() report.Table {
 }
 
 // Table4 reproduces the operational-phase table.
-func Table4() report.Table {
+func Table4(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Table 4: performance and availability implications",
 		Columns: []string{"technique", "normal", "outage start", "during outage", "after restored"},
@@ -122,7 +123,7 @@ func Table4() report.Table {
 }
 
 // Table5 reproduces the technique-impact table (computed from the models).
-func Table5() report.Table {
+func Table5(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Table 5: impact of system techniques on backup capacity",
 		Columns: []string{"technique", "time to take effect", "power after activation"},
@@ -135,7 +136,7 @@ func Table5() report.Table {
 }
 
 // Table6 reproduces the hybrid-technique table.
-func Table6() report.Table {
+func Table6(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Table 6: hybrid sustain-execution + save-state techniques",
 		Columns: []string{"technique", "during power failure"},
@@ -147,7 +148,7 @@ func Table6() report.Table {
 }
 
 // Table8 reproduces the SPECjbb save/resume measurements.
-func Table8() report.Table {
+func Table8(context.Context) report.Table {
 	t := report.Table{
 		Title:   "Table 8: time to save and resume SPECjbb state",
 		Columns: []string{"technique", "save time", "resume time", "save power (norm.)"},

@@ -221,6 +221,20 @@ func NewGenerator(seed int64) *Generator {
 	}
 }
 
+// DeriveSeed maps a (base seed, stream index) pair to an independent
+// deterministic seed via a splitmix64 finalizer. It is the seeding
+// discipline for parallel Monte-Carlo fan-outs: each worker (e.g. each
+// simulated year) gets its own generator seeded by DeriveSeed(seed, i),
+// so traces are independent of both execution order and worker count —
+// parallel and serial runs see identical streams.
+func DeriveSeed(seed, stream int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(stream)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Year samples one year of outages, sorted by start time and
 // non-overlapping.
 func (g *Generator) Year() []Event {

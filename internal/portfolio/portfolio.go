@@ -8,12 +8,14 @@
 package portfolio
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"backuppower/internal/core"
 	"backuppower/internal/cost"
+	"backuppower/internal/sweep"
 	"backuppower/internal/technique"
 	"backuppower/internal/units"
 	"backuppower/internal/workload"
@@ -113,7 +115,7 @@ func (p *Planner) sectionFramework(servers int) *core.Framework {
 // candidates enumerates the designs considered per requirement: every
 // technique family variant under its min-cost sizing, plus MaxPerf with
 // the baseline as the always-feasible fallback.
-func (p *Planner) candidates(fw *core.Framework, req Requirement) []Section {
+func (p *Planner) candidates(ctx context.Context, fw *core.Framework, req Requirement) ([]Section, error) {
 	var out []Section
 	peak := fw.Env.PeakPower()
 
@@ -126,7 +128,11 @@ func (p *Planner) candidates(fw *core.Framework, req Requirement) []Section {
 			Perf:       res.Perf, Downtime: res.Downtime, StateSafe: res.Survived,
 		})
 	}
-	for _, s := range fw.EvaluateTechniques(req.Workload, req.SLA.Outage) {
+	sums, err := fw.EvaluateTechniquesCtx(ctx, req.Workload, req.SLA.Outage)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sums {
 		for _, op := range s.Points {
 			out = append(out, Section{
 				Workload: req.Workload.Name, Servers: req.Servers,
@@ -137,7 +143,7 @@ func (p *Planner) candidates(fw *core.Framework, req Requirement) []Section {
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // meets checks a candidate against the SLA.
@@ -158,35 +164,51 @@ func meets(c Section, sla SLA) bool {
 // SLA. It returns an error when some requirement cannot be met even by
 // MaxPerf (the SLA is infeasible for that workload).
 func (p *Planner) Design(reqs []Requirement) (Plan, error) {
+	return p.DesignCtx(context.Background(), reqs)
+}
+
+// DesignCtx is Design with the per-requirement candidate enumeration and
+// selection fanned out through the sweep engine. Sections come back in
+// requirement order, so the plan is identical to a serial design.
+func (p *Planner) DesignCtx(ctx context.Context, reqs []Requirement) (Plan, error) {
 	if p.Base == nil {
 		return Plan{}, fmt.Errorf("portfolio: nil framework")
 	}
 	if len(reqs) == 0 {
 		return Plan{}, fmt.Errorf("portfolio: no requirements")
 	}
-	var plan Plan
 	for _, req := range reqs {
 		if err := req.Validate(); err != nil {
 			return Plan{}, err
 		}
+	}
+	type sectionPick struct {
+		chosen  Section
+		maxPerf units.DollarsPerYear
+	}
+	picks, err := sweep.Map(ctx, reqs, func(ctx context.Context, req Requirement) (sectionPick, error) {
 		fw := p.sectionFramework(req.Servers)
-		cands := p.candidates(fw, req)
+		cands, err := p.candidates(ctx, fw, req)
+		if err != nil {
+			return sectionPick{}, err
+		}
 		sort.Slice(cands, func(i, j int) bool { return cands[i].AnnualCost < cands[j].AnnualCost })
-		chosen := Section{}
-		found := false
 		for _, c := range cands {
 			if meets(c, req.SLA) {
-				chosen, found = c, true
-				break
+				return sectionPick{chosen: c, maxPerf: cost.MaxPerf(fw.Env.PeakPower()).AnnualCost()}, nil
 			}
 		}
-		if !found {
-			return Plan{}, fmt.Errorf("portfolio: no design meets the SLA for %s (outage %v, perf >= %.2f, downtime <= %v)",
-				req.Workload.Name, req.SLA.Outage, req.SLA.MinPerf, req.SLA.MaxDowntime)
-		}
-		plan.Sections = append(plan.Sections, chosen)
-		plan.TotalCost += chosen.AnnualCost
-		plan.MaxPerfCost += cost.MaxPerf(fw.Env.PeakPower()).AnnualCost()
+		return sectionPick{}, fmt.Errorf("portfolio: no design meets the SLA for %s (outage %v, perf >= %.2f, downtime <= %v)",
+			req.Workload.Name, req.SLA.Outage, req.SLA.MinPerf, req.SLA.MaxDowntime)
+	})
+	if err != nil {
+		return Plan{}, err
+	}
+	var plan Plan
+	for _, pick := range picks {
+		plan.Sections = append(plan.Sections, pick.chosen)
+		plan.TotalCost += pick.chosen.AnnualCost
+		plan.MaxPerfCost += pick.maxPerf
 	}
 	return plan, nil
 }

@@ -1,0 +1,65 @@
+package sweep
+
+import "sync"
+
+// Cache is a content-keyed memoization cache with singleflight semantics:
+// concurrent Do calls for the same key run the compute function exactly
+// once and share its result. It exists so repeated scenario evaluations —
+// the same (Backup, Technique, Workload, Outage) point showing up in
+// several figures — hit memory instead of re-simulating.
+//
+// Both values and errors are memoized; the compute functions routed
+// through it are deterministic, so a failure is as cacheable as a result.
+// Cached values may contain pointers (e.g. simulation traces) that are
+// shared between all callers — treat them as immutable.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	max     int
+	entries map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// NewCache returns a cache holding at most max entries; when the cap is
+// reached the cache is flushed wholesale (the workloads here are bursty
+// re-evaluations of the same grid, so simple epochal eviction beats LRU
+// bookkeeping on the hot path). max < 1 means unbounded.
+func NewCache[K comparable, V any](max int) *Cache[K, V] {
+	return &Cache[K, V]{max: max, entries: make(map[K]*cacheEntry[V])}
+}
+
+// Do returns the memoized result for key, computing it with fn on the
+// first call. Concurrent callers for the same key block until the single
+// in-flight computation finishes.
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		if c.max > 0 && len(c.entries) >= c.max {
+			c.entries = make(map[K]*cacheEntry[V])
+		}
+		e = &cacheEntry[V]{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Len reports the number of cached keys (including in-flight ones).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge empties the cache.
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[K]*cacheEntry[V])
+}

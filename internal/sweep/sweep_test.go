@@ -1,0 +1,224 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, width := range []int{1, 2, 8, 64} {
+		ctx := WithWidth(context.Background(), width)
+		got, err := Map(ctx, items, func(_ context.Context, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("width %d: got[%d] = %d, want %d", width, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), nil, func(_ context.Context, v int) (int, error) {
+		return v, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v %v", got, err)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, width := range []int{1, 4} {
+		ctx := WithWidth(context.Background(), width)
+		_, err := Map(ctx, items, func(_ context.Context, v int) (int, error) {
+			if v == 3 {
+				return 0, boom
+			}
+			return v, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("width %d: err = %v, want boom", width, err)
+		}
+	}
+}
+
+func TestMapErrorCancelsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int32
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	ctx := WithWidth(context.Background(), 2)
+	_, err := Map(ctx, items, func(ctx context.Context, v int) (int, error) {
+		started.Add(1)
+		if v == 0 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return v, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n == int32(len(items)) {
+		t.Errorf("error did not stop the feed: all %d items ran", n)
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, []int{1, 2, 3}, func(_ context.Context, v int) (int, error) {
+		return v, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapWidthBound(t *testing.T) {
+	const width = 3
+	var cur, peak atomic.Int32
+	items := make([]int, 64)
+	ctx := WithWidth(context.Background(), width)
+	_, err := Map(ctx, items, func(_ context.Context, v int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		return v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > width {
+		t.Errorf("peak concurrency %d exceeds width %d", p, width)
+	}
+}
+
+func TestWidthDefaults(t *testing.T) {
+	if w := Width(context.Background()); w < 1 {
+		t.Errorf("default width = %d", w)
+	}
+	if w := Width(WithWidth(context.Background(), 7)); w != 7 {
+		t.Errorf("width = %d, want 7", w)
+	}
+	if w := Width(WithWidth(context.Background(), 0)); w < 1 {
+		t.Errorf("zero width request should fall back, got %d", w)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache[string, int](0)
+	var computed atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("k", func() (int, error) {
+				computed.Add(1)
+				time.Sleep(time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computed.Load(); n != 1 {
+		t.Errorf("computed %d times, want 1", n)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+// TestCacheConcurrentMixedKeys is the -race exercise: many goroutines
+// hammering overlapping keys through Map must neither race nor duplicate
+// work per key.
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := NewCache[int, string](0)
+	var computes atomic.Int32
+	items := make([]int, 256)
+	for i := range items {
+		items[i] = i % 16
+	}
+	ctx := WithWidth(context.Background(), 8)
+	got, err := Map(ctx, items, func(_ context.Context, k int) (string, error) {
+		return c.Do(k, func() (string, error) {
+			computes.Add(1)
+			return fmt.Sprintf("v%d", k), nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := fmt.Sprintf("v%d", items[i]); v != want {
+			t.Fatalf("got[%d] = %q, want %q", i, v, want)
+		}
+	}
+	if n := computes.Load(); n != 16 {
+		t.Errorf("computed %d distinct keys, want 16", n)
+	}
+}
+
+func TestCacheErrorMemoized(t *testing.T) {
+	c := NewCache[string, int](0)
+	boom := errors.New("boom")
+	var computed int
+	for i := 0; i < 3; i++ {
+		_, err := c.Do("k", func() (int, error) {
+			computed++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if computed != 1 {
+		t.Errorf("computed %d times, want 1 (errors memoize too)", computed)
+	}
+}
+
+func TestCacheEvictionAndPurge(t *testing.T) {
+	c := NewCache[int, int](4)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Do(i, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 4 {
+		t.Errorf("len = %d, want <= 4 after epochal eviction", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("len after purge = %d", c.Len())
+	}
+}

@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+# Benchmarks tracked by the bench-baseline / bench-compare pair: the
+# micro-primitives the PR-2 fast path optimized plus the end-to-end regen.
+BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|BenchmarkMinCostSizing|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkFullRegen
+BENCH_COUNT   ?= 10
+BENCH_DIR     ?= .bench
 
-ci: vet build race bench-smoke
+.PHONY: ci vet build test race bench-smoke bench-alloc bench bench-baseline bench-compare
+
+ci: vet build race bench-alloc bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,11 +22,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Single-iteration smoke of the deepest experiment (Fig 6: variant race ×
-# rating sweep × duration fan-out) so CI exercises the sweep engine
-# end-to-end without paying for a full benchmark run.
+# Allocation-regression gate: the aggregate simulation path and the sizing
+# inner loop must stay heap-allocation-free (see internal/cluster/alloc_test.go).
+bench-alloc:
+	$(GO) test -run='TestAggregatePathAllocFree|TestRequiredRuntimeAllocFree|TestSimulateAggregateAllocBound' ./internal/cluster/
+
+# Single-iteration smokes: the deepest experiment (Fig 6: variant race ×
+# rating sweep × duration fan-out) and the full serial regeneration, so CI
+# exercises the sweep engine and the end-to-end path without paying for a
+# statistical benchmark run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkFig6 -benchtime=1x .
+	$(GO) test -run=NONE -bench=BenchmarkFullRegen -benchtime=1x .
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-baseline records the tracked benchmarks ($(BENCH_COUNT) runs each)
+# into $(BENCH_DIR)/baseline.txt. Run it on the commit you want to compare
+# against, then make your changes and run bench-compare.
+bench-baseline:
+	@mkdir -p $(BENCH_DIR)
+	$(GO) test -run=NONE -bench='$(BENCH_TRACKED)' -benchmem -count=$(BENCH_COUNT) . | tee $(BENCH_DIR)/baseline.txt
+
+# bench-compare re-runs the tracked benchmarks and diffs them against the
+# recorded baseline — through benchstat when it is on PATH, otherwise
+# through the in-repo comparer (cmd/benchdiff), which needs no downloads.
+bench-compare:
+	@test -f $(BENCH_DIR)/baseline.txt || { echo "no $(BENCH_DIR)/baseline.txt — run 'make bench-baseline' first"; exit 1; }
+	$(GO) test -run=NONE -bench='$(BENCH_TRACKED)' -benchmem -count=$(BENCH_COUNT) . | tee $(BENCH_DIR)/current.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_DIR)/baseline.txt $(BENCH_DIR)/current.txt; \
+	else \
+		$(GO) run ./cmd/benchdiff $(BENCH_DIR)/baseline.txt $(BENCH_DIR)/current.txt; \
+	fi

@@ -18,6 +18,7 @@ import (
 	"backuppower/internal/core"
 	"backuppower/internal/cost"
 	"backuppower/internal/experiments"
+	"backuppower/internal/memsim"
 	"backuppower/internal/migration"
 	"backuppower/internal/sweep"
 	"backuppower/internal/technique"
@@ -109,6 +110,28 @@ func BenchmarkScenarioSimulate(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cluster.Simulate(scn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioSimulateAggregate measures the trace-free fast path the
+// framework sweeps actually take. Compare against BenchmarkScenarioSimulate
+// for the cost of timeline recording; the alloc floor here is the
+// technique's plan construction (the segment walk itself is pinned
+// allocation-free by TestAggregatePathAllocFree).
+func BenchmarkScenarioSimulateAggregate(b *testing.B) {
+	env := technique.DefaultEnv(64)
+	scn := cluster.Scenario{
+		Env:       env,
+		Workload:  workload.Specjbb(),
+		Backup:    cost.LargeEUPS(env.PeakPower()),
+		Technique: technique.ThrottleThenSave{PState: 6, Save: technique.SaveSleep, ActiveFraction: 0.5},
+		Outage:    time.Hour,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.SimulateAggregate(scn); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -209,6 +232,7 @@ func BenchmarkFullRegen(b *testing.B) {
 	ctx := sweep.WithWidth(context.Background(), 1)
 	for i := 0; i < b.N; i++ {
 		core.ResetScenarioCache()
+		memsim.ResetPrecopyMemo()
 		if _, err := experiments.RunAll(ctx, experiments.Registry()); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,119 @@
+// Command benchdiff compares two `go test -bench` output files and prints
+// per-benchmark medians with relative deltas — a dependency-free stand-in
+// for benchstat on machines that cannot fetch it. Usage:
+//
+//	go test -run=NONE -bench=. -benchmem -count=10 . > old.txt
+//	... make changes ...
+//	go test -run=NONE -bench=. -benchmem -count=10 . > new.txt
+//	go run ./cmd/benchdiff old.txt new.txt
+//
+// Medians (not means) are reported: single-core CI containers see enough
+// scheduling noise that a mean over 10 runs can be dragged by one outlier.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// samples collects one benchmark's runs, per metric unit (ns/op, B/op,
+// allocs/op — whatever the file carries).
+type samples map[string][]float64
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <old.txt> <new.txt>")
+		os.Exit(2)
+	}
+	oldRuns, err := parse(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newRuns, err := parse(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var names []string
+	for name := range oldRuns {
+		if _, ok := newRuns[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two files")
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-40s %-10s %14s %14s %9s\n", "benchmark", "metric", "old(median)", "new(median)", "delta")
+	for _, name := range names {
+		for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+			o, okOld := oldRuns[name][unit]
+			n, okNew := newRuns[name][unit]
+			if !okOld || !okNew || len(o) == 0 || len(n) == 0 {
+				continue
+			}
+			om, nm := median(o), median(n)
+			delta := "~"
+			if om != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nm-om)/om*100)
+			}
+			fmt.Printf("%-40s %-10s %14.1f %14.1f %9s\n", name, unit, om, nm, delta)
+		}
+	}
+}
+
+// parse reads benchmark result lines: name, iteration count, then
+// alternating value/unit pairs.
+func parse(path string) (map[string]samples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]samples)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so runs from different widths align.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if out[name] == nil {
+			out[name] = make(samples)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			out[name][unit] = append(out[name][unit], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

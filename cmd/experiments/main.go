@@ -6,6 +6,11 @@
 // reference behavior) and -timeout bounds the whole regeneration. Output
 // is byte-identical at every width: tables render in registry order no
 // matter which finished first.
+//
+// -cpuprofile and -memprofile write pprof profiles of the regeneration
+// (analyze with `go tool pprof`); -dense-sizing switches the UPS sizing
+// sweep back to the dense 65-point grid for cross-checking the bracketed
+// search.
 package main
 
 import (
@@ -16,7 +21,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
+	"backuppower/internal/core"
 	"backuppower/internal/experiments"
 	"backuppower/internal/report"
 	"backuppower/internal/sweep"
@@ -29,7 +36,42 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"sweep worker-pool width (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "abort the regeneration after this long (0 = no limit)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	denseSizing := flag.Bool("dense-sizing", false,
+		"use the dense 65-point UPS rating sweep instead of the bracketed search")
 	flag.Parse()
+
+	core.DenseSizingGrid = *denseSizing
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush accounting so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	render := func(t report.Table, w io.Writer) error { return t.Render(w) }
 	switch *format {

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"backuppower/internal/cost"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// allocScenarios covers the structurally distinct hot paths: a plain
+// throttle plan (few phases, DG transfer steps), a hibernate save plan
+// (fixed phases, state-safe tail), and a migration plan (long fixed
+// phase) — with and without a DG in the backup.
+func allocScenarios() []Scenario {
+	e := env()
+	peak := e.PeakPower()
+	return []Scenario{
+		scn(cost.LargeEUPS(peak), technique.ThrottleThenSave{PState: 6, Save: technique.SaveSleep, ActiveFraction: 0.5}, workload.Specjbb(), time.Hour),
+		scn(cost.MaxPerf(peak), technique.Baseline{}, workload.Specjbb(), 30*time.Minute),
+		scn(cost.NoDG(peak), technique.Hibernate{}, workload.WebSearch(), 30*time.Minute),
+		scn(cost.SmallPUPS(peak), technique.Sleep{LowPower: true}, workload.Memcached(), 2*time.Hour),
+	}
+}
+
+// TestAggregatePathAllocFree pins the aggregate simulation core at zero
+// heap allocations per call once the plan is in hand: the segment cursor,
+// the mean accumulator and the UPS state are all stack values. A regression
+// here (an escape introduced into simulatePlan, the cursor, or the battery
+// model) turns every sweep's inner loop back into a GC workload.
+func TestAggregatePathAllocFree(t *testing.T) {
+	for _, s := range allocScenarios() {
+		s := s
+		plan := s.Technique.Plan(s.Env, s.Workload, s.Outage)
+		got := testing.AllocsPerRun(100, func() {
+			var rec recorder
+			if _, err := simulatePlan(s, plan, &rec); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != 0 {
+			t.Errorf("%s/%s: simulatePlan allocates %.0f objects/op, want 0", plan.Technique, s.Backup.Name, got)
+		}
+	}
+}
+
+// TestRequiredRuntimeAllocFree pins the sizing sweep's innermost call —
+// it runs tens of times per candidate rating, hundreds per MinCostUPS.
+func TestRequiredRuntimeAllocFree(t *testing.T) {
+	for _, s := range allocScenarios() {
+		s := s
+		plan := s.Technique.Plan(s.Env, s.Workload, s.Outage)
+		got := testing.AllocsPerRun(100, func() {
+			RequiredRuntime(s.Env, s.Workload, plan, s.Backup.DG, s.Outage, 10*units.Kilowatt, 1.15, 0.05)
+		})
+		if got != 0 {
+			t.Errorf("%s/%s: RequiredRuntime allocates %.0f objects/op, want 0", plan.Technique, s.Backup.Name, got)
+		}
+	}
+}
+
+// TestSimulateAggregateAllocBound bounds the full entry point: everything
+// it allocates must come from the technique's plan construction (a phase
+// slice plus per-technique scratch), not from the simulation itself. The
+// bound is deliberately loose enough for plan-building changes but tight
+// enough to catch the trace/map/sort allocations this path was built to
+// shed (the old path cost 15+).
+func TestSimulateAggregateAllocBound(t *testing.T) {
+	const maxAllocs = 8
+	for _, s := range allocScenarios() {
+		s := s
+		got := testing.AllocsPerRun(100, func() {
+			if _, err := SimulateAggregate(s); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > maxAllocs {
+			t.Errorf("%s: SimulateAggregate allocates %.0f objects/op, want <= %d", s.Backup.Name, got, maxAllocs)
+		}
+	}
+}

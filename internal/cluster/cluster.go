@@ -8,6 +8,11 @@
 // end) the load and the DG supply fraction are constant, so UPS battery
 // depletion integrates analytically (with Peukert nonlinearity handled by
 // the battery model's fractional-depletion state).
+//
+// The sweep has two entry points sharing one core: SimulateAggregate walks
+// the segments through an allocation-free cursor and keeps only running
+// aggregates (the path every framework sweep takes), while Simulate
+// additionally records the perf/power timelines for reporting tools.
 package cluster
 
 import (
@@ -82,17 +87,102 @@ type Result struct {
 	// Cost is the configuration's normalized annual cap-ex (MaxPerf = 1).
 	Cost float64
 
-	// PerfTrace and PowerTrace record the timelines for reporting.
+	// PerfTrace and PowerTrace record the timelines for reporting. They
+	// are populated by Simulate only; SimulateAggregate leaves them nil.
 	PerfTrace  *simkit.Trace
 	PowerTrace *simkit.Trace
 }
 
-// Simulate runs the scenario.
+// meanAccum integrates a piecewise-constant signal incrementally with the
+// exact term structure of simkit.Trace: runs of equal value are merged
+// (matching the trace's sample compaction) and a write at the current run's
+// start overwrites its value (matching same-instant overwrite), so mean()
+// reproduces Trace.Mean bit for bit without materializing samples.
+type meanAccum struct {
+	start time.Duration // start of the current run
+	val   float64       // value held since start
+	sum   float64       // value·hours of completed runs
+}
+
+func (a *meanAccum) set(at time.Duration, v float64) {
+	if at == a.start {
+		a.val = v
+		return
+	}
+	if v == a.val {
+		return
+	}
+	a.sum += a.val * (at - a.start).Hours()
+	a.start, a.val = at, v
+}
+
+// mean returns the time-average over [0, to]; to must be past the last set.
+func (a *meanAccum) mean(to time.Duration) float64 {
+	return (a.sum + a.val*(to-a.start).Hours()) / to.Hours()
+}
+
+// recorder receives the simulation's signal updates. The perf accumulator
+// always runs (it produces Result.Perf); the traces are optional and only
+// attached by the trace-producing Simulate wrapper.
+type recorder struct {
+	perf       meanAccum
+	perfTrace  *simkit.Trace
+	powerTrace *simkit.Trace
+}
+
+func (r *recorder) setPerf(at time.Duration, v float64) {
+	r.perf.set(at, v)
+	if r.perfTrace != nil {
+		r.perfTrace.Set(at, v)
+	}
+}
+
+func (r *recorder) setPower(at time.Duration, v float64) {
+	if r.powerTrace != nil {
+		r.powerTrace.Set(at, v)
+	}
+}
+
+// Simulate runs the scenario and records the perf/power timelines on the
+// returned Result — the entry point for timeline tooling (cmd/backupsim).
+// Aggregate-only callers should prefer SimulateAggregate, which skips the
+// trace bookkeeping entirely; both produce bit-identical metrics.
 func Simulate(s Scenario) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
 	plan := s.Technique.Plan(s.Env, s.Workload, s.Outage)
+	rec := recorder{
+		perfTrace:  simkit.NewTrace("perf", 0),
+		powerTrace: simkit.NewTrace("backup-load", 0),
+	}
+	res, err := simulatePlan(s, plan, &rec)
+	if err != nil {
+		return Result{}, err
+	}
+	res.PerfTrace, res.PowerTrace = rec.perfTrace, rec.powerTrace
+	return res, nil
+}
+
+// SimulateAggregate runs the scenario keeping only the aggregate metrics:
+// no traces are built and the segment walk itself performs no heap
+// allocations (the only allocation on this path is the technique's plan).
+// Every sweep in the framework — sizing, variant races, Monte-Carlo — goes
+// through this path.
+func SimulateAggregate(s Scenario) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	plan := s.Technique.Plan(s.Env, s.Workload, s.Outage)
+	var rec recorder
+	return simulatePlan(s, plan, &rec)
+}
+
+// simulatePlan is the shared simulation core: an exact piecewise sweep of
+// the plan against the backup through the allocation-free segment cursor.
+// With a trace-less recorder the whole call is allocation-free (pinned by
+// TestAggregatePathAllocFree).
+func simulatePlan(s Scenario, plan technique.Plan, rec *recorder) (Result, error) {
 	if err := plan.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -109,7 +199,7 @@ func Simulate(s Scenario) (Result, error) {
 	T := s.Outage
 	normal := s.Env.NormalPower(s.Workload)
 	dg := s.Backup.DG
-	unit := ups.NewUnit(s.Backup.UPS)
+	unit := ups.Unit{Config: s.Backup.UPS}
 
 	// If the DG can carry the full normal load, it ends the outage
 	// pressure early: the datacenter returns to full service once the
@@ -120,12 +210,6 @@ func Simulate(s Scenario) (Result, error) {
 	if dgEndsOutage && dg.TransferCompleteAt() < T {
 		effEnd = dg.TransferCompleteAt()
 	}
-
-	perfTrace := simkit.NewTrace("perf", 0)
-	powerTrace := simkit.NewTrace("backup-load", 0)
-	res.PerfTrace, res.PowerTrace = perfTrace, powerTrace
-
-	segs := Segments(s.Env, s.Workload, plan, dg, effEnd)
 
 	var (
 		crashed        bool
@@ -141,16 +225,12 @@ func Simulate(s Scenario) (Result, error) {
 		}
 	}
 
-	for _, seg := range segs {
-		if crashed || darkSafe {
-			break
-		}
+	cur := newSegCursor(plan, dg, effEnd)
+	var seg Segment
+	for cur.next(&seg) {
 		dur := seg.End - seg.Start
-		if dur <= 0 {
-			continue
-		}
-		perfTrace.Set(seg.Start, seg.Perf)
-		powerTrace.Set(seg.Start, float64(seg.Load))
+		rec.setPerf(seg.Start, seg.Perf)
+		rec.setPower(seg.Start, float64(seg.Load))
 
 		if seg.UPSNeed > 0 {
 			if !unit.Config.CanCarry(seg.UPSNeed) {
@@ -212,7 +292,7 @@ func Simulate(s Scenario) (Result, error) {
 				powerBack = ready
 			}
 		}
-		perfTrace.Set(crashAt, 0)
+		rec.setPerf(crashAt, 0)
 		// Unavailable from crash until power back plus recovery.
 		dt := unavail + (powerBack - crashAt)
 		res.DowntimeMin = dt + recoveryLo
@@ -220,13 +300,13 @@ func Simulate(s Scenario) (Result, error) {
 		// If recovery finishes inside the outage window (DG restored
 		// power early), performance returns before T.
 		if back := powerBack + (recoveryLo+recoveryHi)/2; back < T {
-			perfTrace.Set(back, 1)
+			rec.setPerf(back, 1)
 		}
 
 	case darkSafe:
 		// State persisted; servers dark until power returns, then the
 		// plan's restore path runs.
-		perfTrace.Set(lastEnd, 0)
+		rec.setPerf(lastEnd, 0)
 		dt := unavail + (effEnd - lastEnd) + plan.RestoreDowntime
 		res.DowntimeMin, res.DowntimeMax = dt, dt
 
@@ -248,14 +328,13 @@ func Simulate(s Scenario) (Result, error) {
 		if effEnd < T {
 			back := effEnd + tail + restore
 			if back < T {
-				perfTrace.Set(back, 1)
+				rec.setPerf(back, 1)
 			}
 		}
 	}
 	res.Downtime = (res.DowntimeMin + res.DowntimeMax) / 2
 
-	perfTrace.Set(T, perfTrace.At(T)) // ensure the trace reaches T
-	res.Perf = perfTrace.Mean(0, T)
+	res.Perf = rec.perf.mean(T)
 	return res, nil
 }
 

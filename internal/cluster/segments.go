@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"math"
-	"sort"
 	"time"
 
 	"backuppower/internal/genset"
@@ -23,72 +22,127 @@ type Segment struct {
 	StateSafe  bool
 }
 
+// segCursor walks the segments of a plan flattened against a DG config over
+// [0, horizon) without allocating: the interval boundaries — the plan's
+// phase transitions and the DG's transfer steps, both already sorted — are
+// merged on the fly instead of being collected into a map and sorted per
+// call. It is the shared core under Simulate, SimulateAggregate, and
+// RequiredRuntime; the zero-alloc property is pinned by TestAggregatePathAllocFree.
+type segCursor struct {
+	plan    technique.Plan
+	dg      genset.Config
+	horizon time.Duration
+
+	pos      time.Duration // start of the next segment
+	phaseIdx int           // phase candidate in effect at pos
+	phaseAcc time.Duration // cumulative end of fixed phases before phaseIdx
+}
+
+// newSegCursor positions a cursor at the start of the outage.
+func newSegCursor(plan technique.Plan, dg genset.Config, horizon time.Duration) segCursor {
+	return segCursor{plan: plan, dg: dg, horizon: horizon}
+}
+
+// next fills seg with the next segment and reports whether one exists. The
+// produced segments tile [0, horizon) exactly, with strictly increasing
+// boundaries (no zero-length segments).
+func (c *segCursor) next(seg *Segment) bool {
+	if c.pos >= c.horizon {
+		return false
+	}
+	start := c.pos
+
+	// Advance to the phase in effect at start (same selection rule as the
+	// former phaseAt: first fixed phase whose cumulative end lies beyond
+	// start, the open-ended phase past the fixed schedule, or the last
+	// phase as a fallback for schedules with no open-ended tail).
+	for c.phaseIdx < len(c.plan.Phases) {
+		ph := c.plan.Phases[c.phaseIdx]
+		if ph.OpenEnded || start < c.phaseAcc+ph.Dur {
+			break
+		}
+		c.phaseAcc += ph.Dur
+		c.phaseIdx++
+	}
+	idx := c.phaseIdx
+	if idx >= len(c.plan.Phases) {
+		idx = len(c.plan.Phases) - 1
+	}
+	ph := c.plan.Phases[idx]
+
+	end := c.horizon
+	if c.phaseIdx < len(c.plan.Phases) && !ph.OpenEnded {
+		if pe := c.phaseAcc + ph.Dur; pe < end {
+			end = pe
+		}
+	}
+	if t, ok := nextDGCut(c.dg, start); ok && t < end {
+		end = t
+	}
+
+	frac := c.dg.SuppliedFraction(start)
+	dgSupply := units.Watts(frac) * c.dg.PowerCapacity
+	if dgSupply > ph.Power {
+		dgSupply = ph.Power
+	}
+	*seg = Segment{
+		Start:     start,
+		End:       end,
+		Load:      ph.Power,
+		DGSupply:  dgSupply,
+		UPSNeed:   ph.Power - dgSupply,
+		Perf:      ph.Perf,
+		Available: ph.Available,
+		StateSafe: ph.StateSafe,
+	}
+	c.pos = end
+	return true
+}
+
+// nextDGCut returns the earliest instant strictly after `after` at which
+// the DG's supplied fraction changes — the same event set genset.StepTimes
+// lists (transfer steps, then fuel exhaustion), computed without
+// materializing the slice.
+func nextDGCut(dg genset.Config, after time.Duration) (time.Duration, bool) {
+	if !dg.Provisioned() {
+		return 0, false
+	}
+	best := time.Duration(math.MaxInt64)
+	if dg.StartupDelay > after {
+		best = dg.StartupDelay
+	} else if dg.TransferStepDelay > 0 {
+		// Next transfer step strictly after `after`; steps are
+		// StartupDelay + i*TransferStepDelay for i < TransferSteps.
+		k := (after-dg.StartupDelay)/dg.TransferStepDelay + 1
+		if k < time.Duration(dg.TransferSteps) {
+			best = dg.StartupDelay + k*dg.TransferStepDelay
+		}
+	}
+	if dg.FuelRuntime > after && dg.FuelRuntime < best {
+		best = dg.FuelRuntime
+	}
+	if best == math.MaxInt64 {
+		return 0, false
+	}
+	return best, true
+}
+
 // Segments flattens a plan against a DG config over [0, horizon): the
 // interval boundaries are the plan's phase transitions and the DG's
-// transfer steps. The returned segments tile [0, horizon) exactly.
+// transfer steps. The returned segments tile [0, horizon) exactly. It is a
+// slice-materializing wrapper over the zero-alloc cursor, kept for callers
+// that want the whole timeline at once (tests, timeline tooling).
 func Segments(env technique.Env, w workload.Spec, plan technique.Plan, dg genset.Config, horizon time.Duration) []Segment {
 	if horizon <= 0 {
 		return nil
 	}
-	cuts := map[time.Duration]bool{0: true, horizon: true}
-	var at time.Duration
-	for _, ph := range plan.Phases {
-		if ph.OpenEnded {
-			break
-		}
-		at += ph.Dur
-		if at < horizon {
-			cuts[at] = true
-		}
-	}
-	for _, t := range dg.StepTimes() {
-		if t > 0 && t < horizon {
-			cuts[t] = true
-		}
-	}
-	times := make([]time.Duration, 0, len(cuts))
-	for t := range cuts {
-		times = append(times, t)
-	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-
-	segs := make([]Segment, 0, len(times)-1)
-	for i := 0; i+1 < len(times); i++ {
-		start, end := times[i], times[i+1]
-		ph := phaseAt(plan, start)
-		frac := dg.SuppliedFraction(start)
-		dgSupply := units.Watts(frac) * dg.PowerCapacity
-		if dgSupply > ph.Power {
-			dgSupply = ph.Power
-		}
-		segs = append(segs, Segment{
-			Start:     start,
-			End:       end,
-			Load:      ph.Power,
-			DGSupply:  dgSupply,
-			UPSNeed:   ph.Power - dgSupply,
-			Perf:      ph.Perf,
-			Available: ph.Available,
-			StateSafe: ph.StateSafe,
-		})
+	cur := newSegCursor(plan, dg, horizon)
+	var segs []Segment
+	var seg Segment
+	for cur.next(&seg) {
+		segs = append(segs, seg)
 	}
 	return segs
-}
-
-// phaseAt returns the phase in effect at time t (the open-ended phase for
-// anything past the fixed schedule).
-func phaseAt(plan technique.Plan, t time.Duration) technique.Phase {
-	var at time.Duration
-	for _, ph := range plan.Phases {
-		if ph.OpenEnded {
-			return ph
-		}
-		at += ph.Dur
-		if t < at {
-			return ph
-		}
-	}
-	return plan.Phases[len(plan.Phases)-1]
 }
 
 // RequiredRuntime computes, for a candidate UPS power rating, the rated
@@ -100,15 +154,18 @@ func phaseAt(plan technique.Plan, t time.Duration) technique.Phase {
 //	Σ dur_i / (R · (P_rated/L_i)^k) = 1.
 //
 // It returns ok=false when some segment's UPS need exceeds the rating (no
-// runtime helps — the plan needs more power capacity).
+// runtime helps — the plan needs more power capacity). The walk is
+// allocation-free: this is the innermost call of every sizing sweep.
 func RequiredRuntime(env technique.Env, w workload.Spec, plan technique.Plan, dg genset.Config, outage time.Duration, rated units.Watts, peukert float64, minLoadFrac float64) (time.Duration, bool) {
 	horizon := outage
 	if dgEnds := dg.Provisioned() && dg.CanCarry(env.NormalPower(w)); dgEnds && dg.TransferCompleteAt() < outage {
 		horizon = dg.TransferCompleteAt()
 	}
+	var seg Segment
 	if rated <= 0 {
 		// Only feasible if nothing is ever needed from the UPS.
-		for _, seg := range Segments(env, w, plan, dg, horizon) {
+		cur := newSegCursor(plan, dg, horizon)
+		for cur.next(&seg) {
 			if seg.UPSNeed > 0 {
 				return 0, false
 			}
@@ -116,7 +173,8 @@ func RequiredRuntime(env technique.Env, w workload.Spec, plan technique.Plan, dg
 		return 0, true
 	}
 	total := 0.0 // required rated runtime in hours
-	for _, seg := range Segments(env, w, plan, dg, horizon) {
+	cur := newSegCursor(plan, dg, horizon)
+	for cur.next(&seg) {
 		if seg.UPSNeed <= 0 {
 			continue
 		}

@@ -23,49 +23,62 @@ import (
 // growing the process without bound.
 const scenarioCacheSize = 1 << 15
 
-// scenarioCache memoizes cluster.Simulate results process-wide, keyed by
-// the full (Env, Workload, Backup, Technique, Outage) content. Simulation
-// is pure — the same scenario always produces the same Result — so every
-// figure, Monte-Carlo year and portfolio section that lands on an already
-// evaluated point reuses it instead of re-simulating. Results (including
-// their trace pointers) are shared between callers and must be treated as
-// immutable.
+// scenarioCache memoizes cluster.SimulateAggregate results process-wide,
+// keyed by the full (Env, Workload, Backup, Technique, Outage) content.
+// Simulation is pure — the same scenario always produces the same Result —
+// so every figure, Monte-Carlo year and portfolio section that lands on an
+// already evaluated point reuses it instead of re-simulating. Results are
+// shared between callers and must be treated as immutable.
 //
-// The map is keyed by a 128-bit fingerprint of scenarioKey rather than the
-// struct itself: the full key is several hundred bytes of pointer-bearing
-// structs, and storing tens of thousands of copies showed up directly in
-// GC scan and map-hash time. Two independently seeded maphash.Comparable
-// passes give a per-process 128-bit content hash; a colliding pair of
-// distinct scenarios (probability ~n²/2¹²⁸) would silently alias, which we
-// accept the same way content-addressed stores do.
-var scenarioCache = sweep.NewCache[fingerprint, cluster.Result](scenarioCacheSize)
+// The map key is a pre-digested cacheKey rather than a comparable mirror
+// of the whole scenario: hashing the several-hundred-byte scenario content
+// on every lookup was ~2µs against ~2µs simulations. The scenario content
+// splits into a slow-moving environment half — digested once per Framework
+// and revalidated by a cheap struct compare — and a per-call rest half
+// (workload, backup, technique, outage) collapsed by a single
+// maphash.Comparable pass. A colliding pair of distinct scenarios
+// (probability ~n²/2⁶⁴ within one environment) would silently alias, which
+// we accept the same way content-addressed stores do.
+var scenarioCache = sweep.NewCache[cacheKey, cluster.Result](scenarioCacheSize)
 
 var fpSeedA, fpSeedB = maphash.MakeSeed(), maphash.MakeSeed()
+var restSeed = maphash.MakeSeed()
 
 type fingerprint struct{ a, b uint64 }
 
-func fingerprintKey(k scenarioKey) fingerprint {
-	return fingerprint{maphash.Comparable(fpSeedA, k), maphash.Comparable(fpSeedB, k)}
+// cacheKey is the scenario cache's map key: the environment's 128-bit
+// content fingerprint plus a 64-bit digest of the per-call scenario rest.
+type cacheKey struct {
+	env  fingerprint
+	rest uint64
 }
 
-// scenarioKey is a comparable mirror of cluster.Scenario. Everything
-// reachable from a Scenario is a value (structs, scalars, strings — no
-// pointers), so field-wise equality is content equality; the one slice in
-// the graph, server.Config.PStates, is folded into a 64-bit digest via
-// serverKey so the key stays usable in a map. The Technique interface
-// field carries the concrete type in the comparison, which keeps distinct
-// techniques with identical field sets apart. Building the key is a plain
-// struct copy — no reflection, no formatting — so the cache stays cheap
-// relative to the ~2µs simulation it fronts.
-type scenarioKey struct {
+// envKey is a comparable mirror of technique.Env: Scenario's environment
+// half, with the one slice in the graph (server.Config.PStates) folded
+// into a 64-bit digest via serverKey. Building it is a plain struct copy —
+// no reflection, no formatting.
+type envKey struct {
 	servers int
 	server  serverKey
 	disk    storage.Disk
 	mig     migration.Config
-	load    workload.Spec
-	backup  cost.Backup
-	tech    technique.Technique
-	outage  time.Duration
+}
+
+// restKey is the per-call half of the scenario content: everything that
+// varies between Evaluate calls on one Framework. The Technique interface
+// field carries the concrete type in the hash, which keeps distinct
+// techniques with identical field sets apart.
+type restKey struct {
+	load   workload.Spec
+	backup cost.Backup
+	tech   technique.Technique
+	outage time.Duration
+}
+
+// envFPEntry caches the environment fingerprint for one Env content.
+type envFPEntry struct {
+	key envKey
+	fp  fingerprint
 }
 
 // serverKey mirrors server.Config field-for-field with PStates replaced by
@@ -83,16 +96,12 @@ type serverKey struct {
 	restart         time.Duration
 }
 
-func keyScenario(s cluster.Scenario) scenarioKey {
-	return scenarioKey{
-		servers: s.Env.Servers,
-		server:  keyServer(s.Env.Server),
-		disk:    s.Env.Disk,
-		mig:     s.Env.Mig,
-		load:    s.Workload,
-		backup:  s.Backup,
-		tech:    s.Technique,
-		outage:  s.Outage,
+func keyEnv(e technique.Env) envKey {
+	return envKey{
+		servers: e.Servers,
+		server:  keyServer(e.Server),
+		disk:    e.Disk,
+		mig:     e.Mig,
 	}
 }
 
@@ -113,10 +122,31 @@ func keyServer(c server.Config) serverKey {
 	}
 }
 
+// scenarioCacheKey digests a scenario into the cache's map key. The
+// environment sub-fingerprint is memoized on the Framework behind an
+// atomic pointer: the cached entry carries the envKey content it was
+// computed from and is revalidated by struct equality, so mutating f.Env
+// between Evaluate calls transparently re-digests (and racing writers all
+// store the same content-derived value).
+func (f *Framework) scenarioCacheKey(s cluster.Scenario) cacheKey {
+	ek := keyEnv(s.Env)
+	var fp fingerprint
+	if hit := f.envfp.Load(); hit != nil && hit.key == ek {
+		fp = hit.fp
+	} else {
+		fp = fingerprint{maphash.Comparable(fpSeedA, ek), maphash.Comparable(fpSeedB, ek)}
+		f.envfp.Store(&envFPEntry{key: ek, fp: fp})
+	}
+	return cacheKey{
+		env:  fp,
+		rest: maphash.Comparable(restSeed, restKey{load: s.Workload, backup: s.Backup, tech: s.Technique, outage: s.Outage}),
+	}
+}
+
 // keyable reports whether the technique's dynamic type is comparable. All
 // shipped techniques are flat value structs (pinned by
 // TestShippedTechniquesAreCacheKeyable); a hypothetical technique holding
-// a slice or map would make map insertion panic, so Evaluate routes such
+// a slice or map would make the key hash panic, so Evaluate routes such
 // values around the cache instead.
 func keyable(s cluster.Scenario) bool {
 	return s.Technique == nil || reflect.TypeOf(s.Technique).Comparable()

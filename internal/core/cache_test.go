@@ -21,18 +21,22 @@ func TestScenarioKeyMirrorsServerConfig(t *testing.T) {
 	if key != cfg {
 		t.Fatalf("serverKey has %d fields, server.Config has %d — update keyServer and serverKey", key, cfg)
 	}
-	// Likewise the outer mirror: Scenario's 5 fields with Env flattened
-	// into its 4 constituents gives 8 key fields.
-	if got := reflect.TypeOf(scenarioKey{}).NumField(); got != 8 {
-		t.Fatalf("scenarioKey has %d fields, want 8 — update keyScenario", got)
+	// Likewise the outer mirrors: Scenario's 5 fields split into the
+	// environment half (Env flattened into its 4 constituents) and the
+	// per-call rest (workload, backup, technique, outage).
+	if got := reflect.TypeOf(envKey{}).NumField(); got != 4 {
+		t.Fatalf("envKey has %d fields, want 4 — update keyEnv", got)
+	}
+	if got := reflect.TypeOf(restKey{}).NumField(); got != 4 {
+		t.Fatalf("restKey has %d fields, want 4 — update scenarioCacheKey", got)
 	}
 }
 
-// TestScenarioKeySeparatesFields checks the digest and mirror actually
-// discriminate: flipping any single scenario dimension must change the key.
+// TestScenarioKeySeparatesFields checks the digests actually discriminate:
+// flipping any single scenario dimension must change the cache key.
 func TestScenarioKeySeparatesFields(t *testing.T) {
 	f := New(16)
-	mk := func(mut func(*cluster.Scenario)) scenarioKey {
+	mk := func(mut func(*cluster.Scenario)) cacheKey {
 		s := cluster.Scenario{
 			Env:       f.Env,
 			Workload:  workload.Specjbb(),
@@ -43,7 +47,7 @@ func TestScenarioKeySeparatesFields(t *testing.T) {
 		if mut != nil {
 			mut(&s)
 		}
-		return keyScenario(s)
+		return f.scenarioCacheKey(s)
 	}
 	ref := mk(nil)
 	muts := map[string]func(*cluster.Scenario){
@@ -65,9 +69,37 @@ func TestScenarioKeySeparatesFields(t *testing.T) {
 	}
 }
 
+// TestEnvFingerprintRevalidatesOnMutation pins the per-Framework env
+// sub-fingerprint memo: mutating f.Env between calls must re-digest (keys
+// diverge), and restoring the original content must reproduce the original
+// key even though the memo was overwritten in between.
+func TestEnvFingerprintRevalidatesOnMutation(t *testing.T) {
+	f := New(16)
+	scn := func() cluster.Scenario {
+		return cluster.Scenario{
+			Env:       f.Env,
+			Workload:  workload.Specjbb(),
+			Backup:    cost.NoDG(f.Env.PeakPower()),
+			Technique: technique.Sleep{},
+			Outage:    30 * time.Minute,
+		}
+	}
+	orig := f.scenarioCacheKey(scn())
+	f.Env.Servers = 32
+	mutated := f.scenarioCacheKey(scn())
+	if mutated.env == orig.env {
+		t.Fatal("env fingerprint did not change after mutating Env")
+	}
+	f.Env.Servers = 16
+	restored := f.scenarioCacheKey(scn())
+	if restored != orig {
+		t.Fatalf("restored Env did not reproduce the original key: %+v vs %+v", restored, orig)
+	}
+}
+
 // TestShippedTechniquesAreCacheKeyable pins that every technique the
 // framework enumerates (plus the Section 7 extensions) has a comparable
-// dynamic type, so using it inside a map key cannot panic.
+// dynamic type, so using it inside a hashed key cannot panic.
 func TestShippedTechniquesAreCacheKeyable(t *testing.T) {
 	f := New(16)
 	techs := []technique.Technique{

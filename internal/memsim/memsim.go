@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"backuppower/internal/sweep"
 	"backuppower/internal/units"
 )
 
@@ -101,10 +102,38 @@ type PrecopyResult struct {
 	TotalDuration time.Duration // Duration + StopCopyTime
 }
 
+// precopyKey is the full argument tuple of Precopy — all value types, so
+// the simulation is a pure function of the key.
+type precopyKey struct {
+	p         Profile
+	state     units.Bytes
+	bw        units.BytesPerSecond
+	threshold units.Bytes
+	maxRounds int
+}
+
+// precopyMemo caches pre-copy runs process-wide. Migration planning is
+// outage-duration-independent, so sweeps re-run identical pre-copies for
+// every outage point on a grid; the memo collapses them to one iterative
+// simulation per distinct (profile, state, bandwidth) tuple.
+var precopyMemo = sweep.NewCache[precopyKey, PrecopyResult](1 << 12)
+
+// ResetPrecopyMemo empties the pre-copy memo. Cold-path benchmarks use it
+// alongside the scenario cache reset; regular callers never need it.
+func ResetPrecopyMemo() { precopyMemo.Purge() }
+
 // Precopy simulates iterative pre-copy of `state` bytes at the given link
 // bandwidth while the profile keeps dirtying pages. threshold is the
 // stop-and-copy cutoff; maxRounds caps iterations (Xen defaults to ~30).
+// Results are memoized: the run is a pure function of its arguments.
 func Precopy(p Profile, state units.Bytes, bw units.BytesPerSecond, threshold units.Bytes, maxRounds int) PrecopyResult {
+	res, _ := precopyMemo.Do(precopyKey{p, state, bw, threshold, maxRounds}, func() (PrecopyResult, error) {
+		return precopy(p, state, bw, threshold, maxRounds), nil
+	})
+	return res
+}
+
+func precopy(p Profile, state units.Bytes, bw units.BytesPerSecond, threshold units.Bytes, maxRounds int) PrecopyResult {
 	var res PrecopyResult
 	if state <= 0 {
 		res.Converged = true

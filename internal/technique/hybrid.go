@@ -55,13 +55,14 @@ func (t ThrottleThenSave) Plan(env Env, w workload.Spec, outage time.Duration) P
 	servePower := env.Server.ActivePower(w.Utilization, p, 1) * units.Watts(env.Servers)
 	active := time.Duration(float64(outage) * t.activeFraction())
 
-	phases := []Phase{{
+	phases := make([]Phase, 0, 3)
+	phases = append(phases, Phase{
 		Name:      "throttled",
 		Dur:       active,
 		Power:     servePower,
 		Perf:      perf,
 		Available: true,
-	}}
+	})
 
 	var restore time.Duration
 	switch t.Save {

@@ -6,9 +6,9 @@ BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|
 BENCH_COUNT   ?= 10
 BENCH_DIR     ?= .bench
 
-.PHONY: ci vet build test race bench-smoke bench-alloc bench bench-baseline bench-compare
+.PHONY: ci vet build test race race-httpapi fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare
 
-ci: vet build race bench-alloc bench-smoke
+ci: vet build race race-httpapi bench-alloc bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race gate for the serving layer: the concurrency hammer in
+# internal/httpapi must stay data-race free with verbose accounting even
+# when the full -race sweep is trimmed.
+race-httpapi:
+	$(GO) test -race -count=1 ./internal/httpapi
+
+# Short live-fuzz runs of every fuzz target (the committed seed corpora
+# already run in plain `make test`); lengthen with FUZZTIME=1m etc.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeEvaluateRequest -fuzztime=$(FUZZTIME) ./internal/httpapi
+	$(GO) test -fuzz=FuzzParsePower -fuzztime=$(FUZZTIME) ./internal/units
+	$(GO) test -fuzz=FuzzParseDuration -fuzztime=$(FUZZTIME) ./internal/units
 
 # Allocation-regression gate: the aggregate simulation path and the sizing
 # inner loop must stay heap-allocation-free (see internal/cluster/alloc_test.go).

@@ -172,6 +172,19 @@ const (
 // server model scaled to n servers.
 func NewFramework(n int) *Framework { return core.New(n) }
 
+// Input validation at the evaluation boundary: Evaluate and the sizing /
+// selection entry points reject non-positive or absurd outage durations
+// and invalid server counts with an *InputError wrapping ErrInvalidInput,
+// instead of simulating nonsense or failing with an untyped error deep in
+// the scenario validator.
+var ErrInvalidInput = core.ErrInvalidInput
+
+// InputError is the typed rejection; Field names the offending input.
+type InputError = core.InputError
+
+// MaxOutage is the longest outage duration the framework evaluates.
+const MaxOutage = core.MaxOutage
+
 // Workload constructors (Table 7).
 var (
 	Specjbb   = workload.Specjbb

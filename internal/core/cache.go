@@ -179,3 +179,8 @@ func ResetScenarioCache() { scenarioCache.Purge() }
 // ScenarioCacheLen reports how many scenario results are currently
 // memoized (visibility for tests and tuning).
 func ScenarioCacheLen() int { return scenarioCache.Len() }
+
+// ScenarioCacheStats reports the shared scenario cache's cumulative
+// hit/miss counters since process start. The serving layer exports them
+// on /metrics; the warm-cache integration test asserts on their deltas.
+func ScenarioCacheStats() (hits, misses uint64) { return scenarioCache.Stats() }

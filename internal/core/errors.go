@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// MaxOutage bounds the outage durations the framework accepts. The
+// paper's duration distribution tops out at 8 hours (Figure 1's ">240
+// min" tail) and every experiment in the tree stays under that; 30 days
+// is far beyond any grid outage the model is calibrated for, so longer
+// values are treated as caller bugs rather than silently simulated.
+const MaxOutage = 30 * 24 * time.Hour
+
+// ErrInvalidInput is the sentinel all framework input-validation errors
+// wrap: errors.Is(err, ErrInvalidInput) distinguishes a caller handing
+// the framework a nonsense scenario (reject, report 4xx) from an
+// evaluation failing internally or being cancelled.
+var ErrInvalidInput = errors.New("core: invalid input")
+
+// InputError is a typed rejection of one scenario input, naming the
+// offending field so API layers can surface it.
+type InputError struct {
+	Field  string // which input was rejected ("outage", "env.servers", ...)
+	Reason string
+}
+
+// Error implements error.
+func (e *InputError) Error() string {
+	return fmt.Sprintf("core: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidInput) hold.
+func (e *InputError) Unwrap() error { return ErrInvalidInput }
+
+// validateCall checks the inputs every evaluation entry point shares:
+// the framework's server count and the outage duration. It returns a
+// *InputError (wrapping ErrInvalidInput) on the first violation.
+func (f *Framework) validateCall(outage time.Duration) error {
+	if f.Env.Servers < 1 {
+		return &InputError{Field: "env.servers", Reason: fmt.Sprintf("%d servers (need >= 1)", f.Env.Servers)}
+	}
+	if outage <= 0 {
+		return &InputError{Field: "outage", Reason: fmt.Sprintf("non-positive duration %v", outage)}
+	}
+	if outage > MaxOutage {
+		return &InputError{Field: "outage", Reason: fmt.Sprintf("%v exceeds the %v maximum", outage, time.Duration(MaxOutage))}
+	}
+	return nil
+}

@@ -62,7 +62,13 @@ func New(n int) *Framework {
 // returned Result carries no timeline traces — evaluation runs on the
 // allocation-free aggregate path, and no aggregate caller reads traces;
 // use cluster.Simulate directly for timelines (as cmd/backupsim does).
+//
+// Non-positive or absurd outage durations and invalid server counts are
+// rejected up front with a typed *InputError wrapping ErrInvalidInput.
 func (f *Framework) Evaluate(b cost.Backup, tech technique.Technique, w workload.Spec, outage time.Duration) (cluster.Result, error) {
+	if err := f.validateCall(outage); err != nil {
+		return cluster.Result{}, err
+	}
 	scn := cluster.Scenario{
 		Env: f.Env, Workload: w, Backup: b, Technique: tech, Outage: outage,
 	}
@@ -72,6 +78,18 @@ func (f *Framework) Evaluate(b cost.Backup, tech technique.Technique, w workload
 	return scenarioCache.Do(f.scenarioCacheKey(scn), func() (cluster.Result, error) {
 		return cluster.SimulateAggregate(scn)
 	})
+}
+
+// EvaluateCtx is Evaluate with cancellation: the simulation itself is
+// microseconds and not interruptible, but a request whose context has
+// already expired (queueing, an upstream deadline) is rejected before
+// simulating, and the context error is returned as-is so callers can
+// map deadline expiry distinctly from invalid input.
+func (f *Framework) EvaluateCtx(ctx context.Context, b cost.Backup, tech technique.Technique, w workload.Spec, outage time.Duration) (cluster.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return cluster.Result{}, err
+	}
+	return f.Evaluate(b, tech, w, outage)
 }
 
 // OperatingPoint is a technique paired with the cheapest backup that lets
@@ -103,8 +121,12 @@ type ratingCandidate struct {
 
 // MinCostUPSCtx is MinCostUPS with cancellation: the rating sweep fans out
 // through the shared sweep engine and a context cancellation aborts it.
-// The returned error is non-nil only on cancellation.
+// The returned error is non-nil only on cancellation or invalid input
+// (a typed *InputError wrapping ErrInvalidInput).
 func (f *Framework) MinCostUPSCtx(ctx context.Context, tech technique.Technique, w workload.Spec, outage time.Duration) (OperatingPoint, bool, error) {
+	if err := f.validateCall(outage); err != nil {
+		return OperatingPoint{}, false, err
+	}
 	plan := tech.Plan(f.Env, w, outage)
 	peakNeed := plan.PeakPower()
 	dcPeak := f.Env.PeakPower()
@@ -349,8 +371,11 @@ func (f *Framework) EvaluateTechniques(w workload.Spec, outage time.Duration) []
 // sweep engine (each variant's min-cost sizing is itself a parallel rating
 // sweep) and folds the operating points into per-family bands in variant
 // order, so the result is identical to the serial evaluation. The error is
-// non-nil only on context cancellation.
+// non-nil only on context cancellation or invalid input.
 func (f *Framework) EvaluateTechniquesCtx(ctx context.Context, w workload.Spec, outage time.Duration) ([]TechniqueSummary, error) {
+	if err := f.validateCall(outage); err != nil {
+		return nil, err
+	}
 	byFamily := map[string]*TechniqueSummary{}
 	order := Families()
 	for _, name := range order {
@@ -412,8 +437,11 @@ func (f *Framework) BestForConfig(b cost.Backup, w workload.Spec, outage time.Du
 // BestForConfigCtx is BestForConfig with the candidate race fanned out
 // through the sweep engine. Candidates are compared in enumeration order
 // after the parallel evaluation, so ties resolve exactly as in a serial
-// run. The error is non-nil only on context cancellation.
+// run. The error is non-nil only on context cancellation or invalid input.
 func (f *Framework) BestForConfigCtx(ctx context.Context, b cost.Backup, w workload.Spec, outage time.Duration) (cluster.Result, technique.Technique, error) {
+	if err := f.validateCall(outage); err != nil {
+		return cluster.Result{}, nil, err
+	}
 	candidates := append([]variant{
 		{"Baseline", technique.Baseline{}},
 	}, f.variants()...)

@@ -1,0 +1,216 @@
+package httpapi
+
+import (
+	"time"
+
+	"backuppower/internal/cluster"
+	"backuppower/internal/core"
+	"backuppower/internal/cost"
+)
+
+// The wire types. Requests carry quantities as human strings ("120kW",
+// "30m") parsed through internal/units; responses render durations in
+// Go's canonical duration syntax and powers/energies as plain numbers
+// with the unit in the field name, so every field is self-describing and
+// the encoding is deterministic (the golden tests pin it byte-for-byte).
+
+// ConfigDTO selects a backup configuration: either a Table 3 name
+// ("MaxPerf", "NoDG", "LargeEUPS", ... — scaled to the serving
+// framework's peak power), or a custom configuration from explicit
+// capacities. Exactly one of the two forms must be used.
+type ConfigDTO struct {
+	Name       string `json:"name,omitempty"`
+	DGPower    string `json:"dg_power,omitempty"`
+	UPSPower   string `json:"ups_power,omitempty"`
+	UPSRuntime string `json:"ups_runtime,omitempty"`
+}
+
+// TechniqueDTO selects an outage-handling technique by family name plus
+// the family's parameters. Parameters that do not apply to the named
+// family are rejected, not ignored.
+type TechniqueDTO struct {
+	Name           string   `json:"name"`
+	PState         *int     `json:"pstate,omitempty"`
+	LowPower       *bool    `json:"low_power,omitempty"`
+	Proactive      *bool    `json:"proactive,omitempty"`
+	ThrottleDeep   *bool    `json:"throttle_deep,omitempty"`
+	Save           string   `json:"save,omitempty"`
+	ActiveFraction *float64 `json:"active_fraction,omitempty"`
+	Budget         string   `json:"budget,omitempty"`
+}
+
+// EvaluateRequest is the body of POST /v1/evaluate: one scenario point.
+type EvaluateRequest struct {
+	Config    ConfigDTO    `json:"config"`
+	Technique TechniqueDTO `json:"technique"`
+	Workload  string       `json:"workload"`
+	Outage    string       `json:"outage"`
+	// Width overrides the sweep worker-pool width for this request
+	// (0 = server default). Results are identical at any width.
+	Width int `json:"width,omitempty"`
+	// Timeout tightens the per-request deadline below the server's
+	// -timeout; it can never extend it.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// SizeRequest is the body of POST /v1/size: find the cheapest UPS-only
+// backup under which the technique survives the outage.
+type SizeRequest struct {
+	Technique TechniqueDTO `json:"technique"`
+	Workload  string       `json:"workload"`
+	Outage    string       `json:"outage"`
+	Width     int          `json:"width,omitempty"`
+	Timeout   string       `json:"timeout,omitempty"`
+}
+
+// BestRequest is the body of POST /v1/best: race all techniques behind a
+// fixed configuration and return the winner (the Figure 5 selection).
+type BestRequest struct {
+	Config   ConfigDTO `json:"config"`
+	Workload string    `json:"workload"`
+	Outage   string    `json:"outage"`
+	Width    int       `json:"width,omitempty"`
+	Timeout  string    `json:"timeout,omitempty"`
+}
+
+// ResultDTO mirrors cluster.Result without the trace pointers.
+type ResultDTO struct {
+	Technique       string  `json:"technique"`
+	Config          string  `json:"config"`
+	Workload        string  `json:"workload"`
+	Outage          string  `json:"outage"`
+	Survived        bool    `json:"survived"`
+	CrashedAt       string  `json:"crashed_at,omitempty"`
+	Perf            float64 `json:"perf"`
+	Downtime        string  `json:"downtime"`
+	DowntimeMin     string  `json:"downtime_min"`
+	DowntimeMax     string  `json:"downtime_max"`
+	PeakUPSDrawW    float64 `json:"peak_ups_draw_w"`
+	PeakBackupDrawW float64 `json:"peak_backup_draw_w"`
+	UPSEnergyWh     float64 `json:"ups_energy_wh"`
+	UPSRemaining    float64 `json:"ups_remaining"`
+	NormCost        float64 `json:"norm_cost"`
+}
+
+func resultDTO(r cluster.Result) ResultDTO {
+	d := ResultDTO{
+		Technique:       r.Technique,
+		Config:          r.Config,
+		Workload:        r.Workload,
+		Outage:          r.Outage.String(),
+		Survived:        r.Survived,
+		Perf:            r.Perf,
+		Downtime:        r.Downtime.String(),
+		DowntimeMin:     r.DowntimeMin.String(),
+		DowntimeMax:     r.DowntimeMax.String(),
+		PeakUPSDrawW:    float64(r.PeakUPSDraw),
+		PeakBackupDrawW: float64(r.PeakBackupDraw),
+		UPSEnergyWh:     float64(r.UPSEnergy),
+		UPSRemaining:    r.UPSRemaining,
+		NormCost:        r.Cost,
+	}
+	if !r.Survived {
+		d.CrashedAt = r.CrashedAt.String()
+	}
+	return d
+}
+
+// BackupDTO describes a concrete backup configuration in a response.
+type BackupDTO struct {
+	Name              string  `json:"name"`
+	DGPowerW          float64 `json:"dg_power_w"`
+	UPSPowerW         float64 `json:"ups_power_w"`
+	UPSRuntime        string  `json:"ups_runtime"`
+	AnnualCostDollars float64 `json:"annual_cost_dollars_per_year"`
+}
+
+func backupDTO(b cost.Backup) BackupDTO {
+	return BackupDTO{
+		Name:              b.Name,
+		DGPowerW:          float64(b.DG.PowerCapacity),
+		UPSPowerW:         float64(b.UPS.PowerCapacity),
+		UPSRuntime:        b.UPS.Runtime.String(),
+		AnnualCostDollars: float64(b.AnnualCost()),
+	}
+}
+
+// EvaluateResponse is the body of a successful POST /v1/evaluate.
+type EvaluateResponse struct {
+	Result ResultDTO `json:"result"`
+}
+
+// SizeResponse is the body of a successful POST /v1/size. Feasible false
+// means no UPS-only configuration lets the technique survive the outage
+// (still a 200 — infeasibility is an answer, not an error).
+type SizeResponse struct {
+	Feasible  bool       `json:"feasible"`
+	Technique string     `json:"technique,omitempty"`
+	Backup    *BackupDTO `json:"backup,omitempty"`
+	NormCost  float64    `json:"norm_cost,omitempty"`
+	Result    *ResultDTO `json:"result,omitempty"`
+}
+
+func sizeResponse(op core.OperatingPoint, ok bool) SizeResponse {
+	if !ok {
+		return SizeResponse{}
+	}
+	b := backupDTO(op.Backup)
+	r := resultDTO(op.Result)
+	return SizeResponse{
+		Feasible:  true,
+		Technique: op.Technique,
+		Backup:    &b,
+		NormCost:  op.NormCost,
+		Result:    &r,
+	}
+}
+
+// BestResponse is the body of a successful POST /v1/best.
+type BestResponse struct {
+	Technique string    `json:"technique"`
+	Result    ResultDTO `json:"result"`
+}
+
+// TechniqueInfo is one entry of GET /v1/techniques.
+type TechniqueInfo struct {
+	Name   string   `json:"name"`
+	Params []string `json:"params,omitempty"`
+	Doc    string   `json:"doc"`
+}
+
+// TechniquesResponse is the body of GET /v1/techniques.
+type TechniquesResponse struct {
+	Techniques []TechniqueInfo `json:"techniques"`
+	// Families are the Figure 6-9 family names the sizing sweeps group by.
+	Families []string `json:"families"`
+}
+
+// WorkloadInfo is one entry of GET /v1/workloads.
+type WorkloadInfo struct {
+	Name             string  `json:"name"`
+	PerfMetric       string  `json:"perf_metric"`
+	FootprintGiB     float64 `json:"footprint_gib"`
+	Utilization      float64 `json:"utilization"`
+	CPUBoundFraction float64 `json:"cpu_bound_fraction"`
+}
+
+// WorkloadsResponse is the body of GET /v1/workloads.
+type WorkloadsResponse struct {
+	Workloads []WorkloadInfo `json:"workloads"`
+}
+
+// ErrorBody is the JSON shape of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail names what went wrong. Code is a stable machine-readable
+// string; Field (when set) is the request field that was rejected.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Field   string `json:"field,omitempty"`
+	Message string `json:"message"`
+}
+
+// outage bounds shared by the request validators.
+const maxOutage = time.Duration(core.MaxOutage)

@@ -1,0 +1,48 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"backuppower/internal/workload"
+)
+
+// writeJSON encodes v as the response body. Encoding our own DTO structs
+// cannot fail; field order is the struct order, so identical results
+// always produce identical bytes (the determinism and golden tests rely
+// on this).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError renders any rejection as the typed error body. Errors that
+// are not *apiError (never expected from our own paths) become opaque
+// 500s rather than leaking internals.
+func writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		ae = &apiError{status: http.StatusInternalServerError, code: "internal", message: "internal error"}
+	}
+	writeJSON(w, ae.status, ErrorBody{Error: ErrorDetail{
+		Code:    ae.code,
+		Field:   ae.field,
+		Message: ae.message,
+	}})
+}
+
+// writeSaturated is the 429 path: every in-flight evaluation slot is
+// taken. Retry-After is a hint; evaluations are fast, so one second is
+// generous.
+func writeSaturated(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, &apiError{status: http.StatusTooManyRequests, code: "saturated",
+		message: "all evaluation slots are in flight; retry shortly"})
+}
+
+// workloadAll gives httpapi.go its workload registry without a direct
+// import knot in the handler file.
+func workloadAll() []workload.Spec { return workload.All() }

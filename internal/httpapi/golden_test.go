@@ -1,0 +1,95 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current responses")
+
+// canonicalJSON reformats a JSON document with sorted keys and stable
+// indentation, so golden comparisons are about content, not encoder
+// whitespace.
+func canonicalJSON(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, b)
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestGoldenResponses pins one representative response per endpoint to a
+// committed golden file. Any change to the wire format — field names,
+// number formatting, model output — shows up as a reviewable diff;
+// regenerate deliberately with `go test ./internal/httpapi -update`.
+func TestGoldenResponses(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+	}{
+		{"evaluate", "POST", "/v1/evaluate",
+			`{"config":{"name":"LargeEUPS"},"technique":{"name":"throttle-then-save","pstate":6,"save":"hibernate"},"workload":"specjbb","outage":"2h"}`},
+		{"size", "POST", "/v1/size",
+			`{"technique":{"name":"hibernate","proactive":true},"workload":"web-search","outage":"1h"}`},
+		{"best", "POST", "/v1/best",
+			`{"config":{"name":"SmallPUPS"},"workload":"memcached","outage":"30m"}`},
+		{"techniques", "GET", "/v1/techniques", ""},
+		{"workloads", "GET", "/v1/workloads", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			switch c.method {
+			case "POST":
+				resp, err = http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+			default:
+				resp, err = http.Get(ts.URL + c.path)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, raw)
+			}
+			got := canonicalJSON(t, raw)
+
+			path := filepath.Join("testdata", c.name+".golden.json")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/httpapi -update` to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s response drifted from golden file %s:\ngot:\n%s\nwant:\n%s",
+					c.path, path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,416 @@
+// Package httpapi exposes the evaluation framework over JSON/HTTP — the
+// serving surface behind cmd/backupd. Five endpoints cover the
+// framework's hot paths:
+//
+//	POST /v1/evaluate   one scenario: config x technique x workload x outage
+//	POST /v1/size       min-cost UPS sizing for a technique (MinCostUPSCtx)
+//	POST /v1/best       best technique behind a fixed config (BestForConfigCtx)
+//	GET  /v1/techniques registry of wire-exposed techniques and families
+//	GET  /v1/workloads  registry of calibrated workloads
+//	GET  /healthz       liveness
+//	GET  /metrics       request/latency/cache counters (expvar-backed JSON)
+//
+// All requests against one Server share a single *core.Framework, so the
+// process-wide scenario memo cache warms across requests: a repeated
+// evaluation is a cache hit, not a re-simulation. Evaluation endpoints
+// are bounded by a semaphore (429 + Retry-After past the bound), carry a
+// per-request deadline wired into the framework's Ctx variants (504 on
+// expiry), and honor a per-request sweep width via sweep.WithWidth —
+// responses are byte-identical at any width and any interleaving.
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"backuppower/internal/core"
+	"backuppower/internal/sweep"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Framework is the shared evaluation framework (required).
+	Framework *core.Framework
+
+	// MaxInflight bounds concurrently evaluating requests; further
+	// evaluation requests get 429 + Retry-After. Default 4x GOMAXPROCS.
+	MaxInflight int
+
+	// Timeout is the per-request evaluation deadline, and the cap on any
+	// request-supplied timeout. Default 30s.
+	Timeout time.Duration
+
+	// Width is the default sweep worker-pool width per request (0 means
+	// GOMAXPROCS); a request's width field overrides it downward or
+	// upward without changing the response bytes.
+	Width int
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+
+	// MaxBodyBytes caps request body size. Default 1 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP serving surface over one shared framework.
+type Server struct {
+	fw      *core.Framework
+	cfg     Config
+	sem     chan struct{}
+	metrics *metrics
+	handler http.Handler
+	deps    serverDeps
+
+	// testHookEvalStarted, when set, runs after an evaluation slot is
+	// acquired and before the evaluation itself — the seam the
+	// saturation and deadline tests use to hold a request in flight.
+	testHookEvalStarted func(ctx context.Context)
+}
+
+// New builds a Server over cfg.Framework.
+func New(cfg Config) (*Server, error) {
+	if cfg.Framework == nil {
+		return nil, errors.New("httpapi: Config.Framework is required")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		fw:      cfg.Framework,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		metrics: newMetrics(),
+		deps: serverDeps{
+			deepestPState: len(cfg.Framework.Env.Server.PStates) - 1,
+			peak:          cfg.Framework.Env.PeakPower(),
+		},
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/evaluate", s.route("/v1/evaluate", s.handleEvaluate))
+	mux.HandleFunc("POST /v1/size", s.route("/v1/size", s.handleSize))
+	mux.HandleFunc("POST /v1/best", s.route("/v1/best", s.handleBest))
+	mux.HandleFunc("GET /v1/techniques", s.route("/v1/techniques", s.handleTechniques))
+	mux.HandleFunc("GET /v1/workloads", s.route("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("GET /healthz", s.route("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.route("/metrics", s.handleMetrics))
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = mux
+	return s, nil
+}
+
+// Handler returns the fully assembled HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// statusRecorder captures the status a handler wrote so the metrics
+// middleware can count it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// route wraps a handler with the shared middleware: panic containment,
+// body limiting, and per-route request/status/latency metrics.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				// The decoder and models are panic-free by contract (the
+				// fuzz layer pins the decoder); this is the last-resort
+				// fence so one bad request cannot take the daemon down.
+				if rec.status == 0 {
+					writeError(rec, &apiError{status: 500, code: "internal", message: "internal error"})
+				}
+			}
+			s.metrics.observe(name, rec.status, time.Since(start).Nanoseconds())
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(rec, r)
+	}
+}
+
+// acquire takes an evaluation slot, or reports saturation.
+func (s *Server) acquire() bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.inflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.metrics.inflight.Add(-1)
+	<-s.sem
+}
+
+// evalContext derives the request's evaluation context: the server
+// deadline (tightened by a request timeout, never extended) plus the
+// sweep width.
+func (s *Server) evalContext(r *http.Request, width int, timeout time.Duration) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if timeout > 0 && timeout < d {
+		d = timeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	if width <= 0 {
+		width = s.cfg.Width
+	}
+	if width > 0 {
+		ctx = sweep.WithWidth(ctx, width)
+	}
+	return ctx, cancel
+}
+
+// evalError maps an evaluation failure to a response: deadline expiry is
+// 504, client disconnect is 499 (nginx's convention — the client is gone
+// but the status still lands in metrics), typed input rejections are
+// 400, anything else input-shaped from the scenario validator is 400
+// with a distinct code.
+func evalError(err error) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{status: http.StatusGatewayTimeout, code: "deadline_exceeded",
+			message: "evaluation deadline expired; retry with a longer timeout or narrower request"}
+	case errors.Is(err, context.Canceled):
+		return &apiError{status: 499, code: "client_closed_request", message: "client closed request"}
+	case errors.Is(err, core.ErrInvalidInput):
+		var ie *core.InputError
+		d := &apiError{status: http.StatusBadRequest, code: "invalid_input", message: err.Error()}
+		if errors.As(err, &ie) {
+			d.field = ie.Field
+		}
+		return d
+	default:
+		return &apiError{status: http.StatusBadRequest, code: "invalid_scenario", message: err.Error()}
+	}
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeEvaluateRequest(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	outage, err := parseOutage(req.Outage)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	timeout, err := parseTimeout(req.Timeout)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := parseWidth(req.Width); err != nil {
+		writeError(w, err)
+		return
+	}
+	wl, err := resolveWorkload(req.Workload)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	backup, err := resolveConfig(req.Config, s.deps.peak)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	tech, err := resolveTechnique(req.Technique, &s.deps)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	if !s.acquire() {
+		writeSaturated(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.evalContext(r, req.Width, timeout)
+	defer cancel()
+	if s.testHookEvalStarted != nil {
+		s.testHookEvalStarted(ctx)
+	}
+
+	res, err := s.fw.EvaluateCtx(ctx, backup, tech, wl, outage)
+	if err != nil {
+		writeError(w, evalError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, EvaluateResponse{Result: resultDTO(res)})
+}
+
+func (s *Server) handleSize(w http.ResponseWriter, r *http.Request) {
+	var req SizeRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	outage, err := parseOutage(req.Outage)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	timeout, err := parseTimeout(req.Timeout)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := parseWidth(req.Width); err != nil {
+		writeError(w, err)
+		return
+	}
+	wl, err := resolveWorkload(req.Workload)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	tech, err := resolveTechnique(req.Technique, &s.deps)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	if !s.acquire() {
+		writeSaturated(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.evalContext(r, req.Width, timeout)
+	defer cancel()
+	if s.testHookEvalStarted != nil {
+		s.testHookEvalStarted(ctx)
+	}
+
+	op, ok, err := s.fw.MinCostUPSCtx(ctx, tech, wl, outage)
+	if err != nil {
+		writeError(w, evalError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, sizeResponse(op, ok))
+}
+
+func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
+	var req BestRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	outage, err := parseOutage(req.Outage)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	timeout, err := parseTimeout(req.Timeout)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := parseWidth(req.Width); err != nil {
+		writeError(w, err)
+		return
+	}
+	wl, err := resolveWorkload(req.Workload)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	backup, err := resolveConfig(req.Config, s.deps.peak)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	if !s.acquire() {
+		writeSaturated(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.evalContext(r, req.Width, timeout)
+	defer cancel()
+	if s.testHookEvalStarted != nil {
+		s.testHookEvalStarted(ctx)
+	}
+
+	res, tech, err := s.fw.BestForConfigCtx(ctx, backup, wl, outage)
+	if err != nil {
+		writeError(w, evalError(err))
+		return
+	}
+	resp := BestResponse{Result: resultDTO(res)}
+	if tech != nil {
+		resp.Technique = tech.Name()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTechniques(w http.ResponseWriter, _ *http.Request) {
+	resp := TechniquesResponse{Families: core.Families()}
+	for _, name := range techniqueNames() {
+		spec := techniqueSpecs[name]
+		resp.Techniques = append(resp.Techniques, TechniqueInfo{
+			Name:   name,
+			Params: spec.params,
+			Doc:    spec.doc,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	var resp WorkloadsResponse
+	for _, wl := range workloadAll() {
+		resp.Workloads = append(resp.Workloads, WorkloadInfo{
+			Name:             wl.Name,
+			PerfMetric:       wl.PerfMetric,
+			FootprintGiB:     wl.Memory.Footprint.GiB(),
+			Utilization:      wl.Utilization,
+			CPUBoundFraction: wl.CPUBoundFraction,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.writeTo(w)
+}

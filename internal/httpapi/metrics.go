@@ -1,0 +1,65 @@
+package httpapi
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+
+	"backuppower/internal/core"
+)
+
+// metrics is the server's observability state, built on expvar types but
+// deliberately NOT published to the process-global expvar registry:
+// tests (and embedders) create many Servers per process, and global
+// registration panics on the second one. /metrics renders the same JSON
+// expvar would.
+type metrics struct {
+	// requests counts completed requests per route; statuses counts them
+	// per HTTP status code; latencyNS accumulates wall time per route.
+	requests  expvar.Map
+	statuses  expvar.Map
+	latencyNS expvar.Map
+
+	// inflight is the number of requests currently holding an evaluation
+	// slot; saturated counts 429 rejections; timeouts counts 504s.
+	inflight  expvar.Int
+	saturated expvar.Int
+	timeouts  expvar.Int
+}
+
+func newMetrics() *metrics {
+	m := &metrics{}
+	m.requests.Init()
+	m.statuses.Init()
+	m.latencyNS.Init()
+	return m
+}
+
+func (m *metrics) observe(route string, status int, latencyNS int64) {
+	m.requests.Add(route, 1)
+	m.statuses.Add(fmt.Sprintf("%d", status), 1)
+	m.latencyNS.Add(route, latencyNS)
+	switch status {
+	case 429:
+		m.saturated.Add(1)
+	case 504:
+		m.timeouts.Add(1)
+	}
+}
+
+// writeTo renders the metrics document. Key order is fixed (and expvar
+// Maps iterate their keys sorted), so the document layout is stable; the
+// values themselves are live counters. Cache counters come from the
+// process-wide scenario cache the serving framework shares with every
+// in-process evaluation.
+func (m *metrics) writeTo(w io.Writer) {
+	hits, misses := core.ScenarioCacheStats()
+	fmt.Fprintf(w, `{"cache":{"entries":%d,"hits":%d,"misses":%d},`, core.ScenarioCacheLen(), hits, misses)
+	fmt.Fprintf(w, `"inflight":%s,`, m.inflight.String())
+	fmt.Fprintf(w, `"latency_ns":%s,`, m.latencyNS.String())
+	fmt.Fprintf(w, `"requests":%s,`, m.requests.String())
+	fmt.Fprintf(w, `"saturated":%s,`, m.saturated.String())
+	fmt.Fprintf(w, `"statuses":%s,`, m.statuses.String())
+	fmt.Fprintf(w, `"timeouts":%s}`, m.timeouts.String())
+	io.WriteString(w, "\n")
+}

@@ -1,0 +1,89 @@
+package httpapi
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRequestsDeterministic hammers one shared Server from
+// many goroutines mixing /v1/evaluate and /v1/size bodies, with varying
+// per-request sweep widths, and checks every response byte-matches the
+// serial baseline for the same body. Run under -race (the Makefile ci
+// tier does) this also proves the shared framework, scenario cache, and
+// metrics are data-race free under concurrent load.
+func TestConcurrentRequestsDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, func(cfg *Config) *Server {
+		cfg.MaxInflight = 64 // never shed load in this test
+		return nil
+	})
+
+	type probe struct {
+		path string
+		body string
+	}
+	probes := []probe{
+		{"/v1/evaluate", `{"config":{"name":"MaxPerf"},"technique":{"name":"baseline"},"workload":"specjbb","outage":"10m"}`},
+		{"/v1/evaluate", `{"config":{"name":"SmallDG-SmallPUPS"},"technique":{"name":"migration","proactive":true},"workload":"web-search","outage":"1h"}`},
+		{"/v1/evaluate", `{"config":{"name":"LargeEUPS"},"technique":{"name":"throttle-then-save","pstate":6,"save":"hibernate"},"workload":"memcached","outage":"2h","width":2}`},
+		{"/v1/size", `{"technique":{"name":"sleep","low_power":true},"workload":"specjbb","outage":"30m"}`},
+		{"/v1/size", `{"technique":{"name":"hibernate","proactive":true},"workload":"web-search","outage":"4h","width":3}`},
+		{"/v1/best", `{"config":{"name":"MinCost"},"workload":"memcached","outage":"30m"}`},
+	}
+
+	// Serial baseline first: one canonical response per probe.
+	want := make([][]byte, len(probes))
+	for i, p := range probes {
+		resp, b := post(t, ts.URL+p.path, p.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("baseline %s: status %d: %s", p.path, resp.StatusCode, b)
+		}
+		want[i] = b
+	}
+
+	const goroutines = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds*len(probes))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Stagger the probe order per goroutine so interleavings vary.
+				for off := 0; off < len(probes); off++ {
+					i := (g + r + off) % len(probes)
+					p := probes[i]
+					resp, err := http.Post(ts.URL+p.path, "application/json", strings.NewReader(p.body))
+					if err != nil {
+						errs <- err
+						continue
+					}
+					b, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs <- err
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("%s: status %d: %s", p.path, resp.StatusCode, b)
+						continue
+					}
+					if !bytes.Equal(b, want[i]) {
+						errs <- fmt.Errorf("%s: response diverged from serial baseline:\ngot:  %s\nwant: %s",
+							p.path, b, want[i])
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

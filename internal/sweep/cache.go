@@ -1,6 +1,9 @@
 package sweep
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Cache is a content-keyed memoization cache with singleflight semantics:
 // concurrent Do calls for the same key run the compute function exactly
@@ -16,6 +19,11 @@ type Cache[K comparable, V any] struct {
 	mu      sync.Mutex
 	max     int
 	entries map[K]*cacheEntry[V]
+
+	// hits/misses are cumulative over the cache's lifetime (Purge and
+	// epochal eviction do not reset them) — the serving layer exports
+	// them, and monotonic counters are what rate computations want.
+	hits, misses atomic.Uint64
 }
 
 type cacheEntry[V any] struct {
@@ -46,6 +54,13 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
+	if ok {
+		// Joining an in-flight computation counts as a hit: the caller
+		// shares the single compute instead of starting its own.
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	e.once.Do(func() { e.val, e.err = fn() })
 	return e.val, e.err
 }
@@ -55,6 +70,13 @@ func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Stats reports the cumulative hit/miss counters. Safe to call
+// concurrently with Do; the two values are read independently, so a
+// racing Do may show up in one counter a beat before the other.
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Purge empties the cache.

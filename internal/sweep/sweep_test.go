@@ -222,3 +222,28 @@ func TestCacheEvictionAndPurge(t *testing.T) {
 		t.Errorf("len after purge = %d", c.Len())
 	}
 }
+
+func TestCacheStats(t *testing.T) {
+	c := NewCache[string, int](0)
+	compute := func() (int, error) { return 7, nil }
+	if _, err := c.Do("a", compute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("a", compute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("b", compute); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Stats(); h != 1 || m != 2 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 2)", h, m)
+	}
+	// Counters are cumulative: Purge clears entries, not history.
+	c.Purge()
+	if _, err := c.Do("a", compute); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Stats(); h != 1 || m != 3 {
+		t.Errorf("stats after purge = (%d hits, %d misses), want (1, 3)", h, m)
+	}
+}

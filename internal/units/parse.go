@@ -1,0 +1,99 @@
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the text boundary of the quantity types: parsing for the
+// strings that arrive over HTTP request bodies (internal/httpapi) and CLI
+// flags. Parsing is strict where it matters (no NaN/Inf, no negative
+// power, no unknown units) and lenient where humans are (optional space
+// before the unit, case-insensitive units, "min"/"sec"/"hr" aliases).
+
+// powerScale maps a normalized unit suffix to its multiplier in watts.
+// The empty suffix means bare watts.
+var powerScale = map[string]Watts{
+	"":   Watt,
+	"w":  Watt,
+	"kw": Kilowatt,
+	"mw": Megawatt,
+	"gw": 1e9,
+}
+
+// ParsePower parses a power string: a decimal number followed by an
+// optional unit — "250", "250W", "120 kW", "1.5MW" (units W, kW, MW, GW,
+// case-insensitive, optional space). Negative and non-finite values are
+// rejected: a power capacity below zero is never meaningful in this
+// model.
+func ParsePower(s string) (Watts, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty power")
+	}
+	// Split the trailing unit letters off the numeric prefix.
+	cut := len(t)
+	for cut > 0 {
+		c := t[cut-1]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			cut--
+			continue
+		}
+		break
+	}
+	num := strings.TrimSpace(t[:cut])
+	unit := strings.ToLower(t[cut:])
+	scale, ok := powerScale[unit]
+	if !ok {
+		return 0, fmt.Errorf("units: unknown power unit %q (want W, kW, MW or GW)", t[cut:])
+	}
+	// A numeric prefix ending in 'e'/'E' ("1e3") would have lost its
+	// exponent marker to the unit scan; ParseFloat rejects the remainder,
+	// which is the behavior we want — exponents need an explicit digit
+	// before the unit ("1e3W" parses, "1eW" does not).
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad power %q: %w", s, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("units: non-finite power %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative power %q", s)
+	}
+	w := Watts(v) * scale
+	if math.IsInf(float64(w), 0) {
+		return 0, fmt.Errorf("units: power %q overflows", s)
+	}
+	return w, nil
+}
+
+// durationAliases rewrites the spelled-out unit names people type into the
+// single-letter forms time.ParseDuration understands. Longer aliases are
+// listed before their prefixes so "mins" does not half-match as "min"+"s".
+var durationAliases = strings.NewReplacer(
+	"mins", "m", "min", "m",
+	"secs", "s", "sec", "s",
+	"hrs", "h", "hr", "h", "hours", "h", "hour", "h",
+)
+
+// ParseDuration parses a duration string: everything time.ParseDuration
+// accepts ("30m", "1h30m", "90s", "500ms"), case-insensitively, with
+// optional spaces between components and the aliases "min", "sec", "hr",
+// "hour" for the single-letter units.
+func ParseDuration(s string) (time.Duration, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	if t == "" {
+		return 0, fmt.Errorf("units: empty duration")
+	}
+	t = strings.ReplaceAll(t, " ", "")
+	t = durationAliases.Replace(t)
+	d, err := time.ParseDuration(t)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad duration %q: %w", s, err)
+	}
+	return d, nil
+}

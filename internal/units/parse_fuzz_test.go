@@ -1,0 +1,79 @@
+package units
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzParsePower pins the two properties request validation relies on:
+// the parser never panics, and every accepted value is a finite
+// non-negative power whose canonical re-rendering parses back to the same
+// value ("%g" prints the shortest digits that round-trip a float64).
+func FuzzParsePower(f *testing.F) {
+	for _, seed := range []string{
+		"250", "250W", "250 w", "120kW", "120 KW", "1.5MW", "2GW", "0",
+		"1e3W", "0.000001MW", "-5W", "", " ", "W", "NaN", "+Inf", "1e400",
+		"5kWh", "5 horsepower", "٣W", "1eW", "9999999999999999999999W",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		w, err := ParsePower(s)
+		if err != nil {
+			return
+		}
+		v := float64(w)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("ParsePower(%q) accepted non-finite/negative %v", s, w)
+		}
+		canon := fmt.Sprintf("%gW", v)
+		again, err := ParsePower(canon)
+		if err != nil {
+			t.Fatalf("ParsePower(%q) ok but canonical %q rejected: %v", s, canon, err)
+		}
+		if again != w {
+			t.Fatalf("ParsePower(%q) = %v but canonical %q reparses to %v", s, w, canon, again)
+		}
+	})
+}
+
+// FuzzParseDuration pins the same contract for durations: no panics, and
+// accepted values survive the Duration.String round trip exactly (the
+// canonical form fed back into the parser).
+func FuzzParseDuration(f *testing.F) {
+	for _, seed := range []string{
+		"30m", "30 min", "1h30m", "1 hr 30 min", "2 hours", "90s",
+		"500ms", "1.5H", "0s", "-1h", "", "30", "1d", "m", "9999999999h",
+		"1h30", "30minutes", "0.0000001s", "100000h200000m",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDuration(s)
+		if err != nil {
+			return
+		}
+		canon := d.String()
+		again, err := ParseDuration(canon)
+		if err != nil {
+			t.Fatalf("ParseDuration(%q) = %v but canonical %q rejected: %v", s, d, canon, err)
+		}
+		if again != d {
+			t.Fatalf("ParseDuration(%q) = %v but canonical %q reparses to %v", s, d, canon, again)
+		}
+	})
+}
+
+// TestParseDurationNeverExceedsBounds spot-checks overflow handling: the
+// underlying parser reports out-of-range durations as errors rather than
+// wrapping, so a successful parse is always a representable Duration.
+func TestParseDurationNeverExceedsBounds(t *testing.T) {
+	if _, err := ParseDuration("9999999999999h"); err == nil {
+		t.Fatal("expected overflow error")
+	}
+	if d, err := ParseDuration(time.Duration(math.MaxInt64).String()); err != nil || d != math.MaxInt64 {
+		t.Fatalf("max duration round-trip: %v, %v", d, err)
+	}
+}

@@ -1,0 +1,80 @@
+package units
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePower(t *testing.T) {
+	good := []struct {
+		in   string
+		want Watts
+	}{
+		{"250", 250},
+		{"250W", 250},
+		{"250 w", 250},
+		{"  120 kW ", 120 * Kilowatt},
+		{"1.5MW", 1.5 * Megawatt},
+		{"0.25mw", 0.25 * Megawatt},
+		{"2GW", 2e9},
+		{"0", 0},
+		{"1e3W", 1000},
+	}
+	for _, c := range good {
+		got, err := ParsePower(c.in)
+		if err != nil {
+			t.Errorf("ParsePower(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePower(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+
+	bad := []string{
+		"", "   ", "W", "kW", "-5W", "-0.1", "NaN", "nanW", "Inf", "+InfW",
+		"five watts", "5 horsepower", "5kWh", "1e400", "1e400W", "1eW",
+		"5W5", "5..0W",
+	}
+	for _, in := range bad {
+		if got, err := ParsePower(in); err == nil {
+			t.Errorf("ParsePower(%q) = %v, want error", in, got)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	good := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"30m", 30 * time.Minute},
+		{"30 min", 30 * time.Minute},
+		{"30mins", 30 * time.Minute},
+		{"1h30m", 90 * time.Minute},
+		{"1 hr 30 min", 90 * time.Minute},
+		{"2 hours", 2 * time.Hour},
+		{"90s", 90 * time.Second},
+		{"45 sec", 45 * time.Second},
+		{"500ms", 500 * time.Millisecond},
+		{"1.5H", 90 * time.Minute},
+		{"0s", 0},
+	}
+	for _, c := range good {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDuration(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+
+	bad := []string{"", "  ", "30", "m", "five minutes", "1d", "30x", "1h30"}
+	for _, in := range bad {
+		if got, err := ParseDuration(in); err == nil {
+			t.Errorf("ParseDuration(%q) = %v, want error", in, got)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package backuppower_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	backuppower "backuppower"
+)
+
+// TestEvaluateRejectsBadOutages pins the typed validation at the
+// framework boundary: non-positive and absurd outage durations come back
+// as *InputError wrapping ErrInvalidInput, from every entry point.
+func TestEvaluateRejectsBadOutages(t *testing.T) {
+	fw := backuppower.NewFramework(64)
+	b := backuppower.LargeEUPS(fw.Env.PeakPower())
+	w := backuppower.Specjbb()
+	tech := backuppower.Throttling{PState: 6}
+
+	for _, outage := range []time.Duration{0, -time.Minute, backuppower.MaxOutage + time.Second} {
+		if _, err := fw.Evaluate(b, tech, w, outage); !errors.Is(err, backuppower.ErrInvalidInput) {
+			t.Errorf("Evaluate(outage=%v): err = %v, want ErrInvalidInput", outage, err)
+		}
+		var ie *backuppower.InputError
+		if _, err := fw.Evaluate(b, tech, w, outage); !errors.As(err, &ie) || ie.Field != "outage" {
+			t.Errorf("Evaluate(outage=%v): err = %v, want *InputError on field outage", outage, err)
+		}
+		if _, _, err := fw.MinCostUPSCtx(context.Background(), tech, w, outage); !errors.Is(err, backuppower.ErrInvalidInput) {
+			t.Errorf("MinCostUPSCtx(outage=%v): err = %v, want ErrInvalidInput", outage, err)
+		}
+		if _, _, err := fw.BestForConfigCtx(context.Background(), b, w, outage); !errors.Is(err, backuppower.ErrInvalidInput) {
+			t.Errorf("BestForConfigCtx(outage=%v): err = %v, want ErrInvalidInput", outage, err)
+		}
+		if _, err := fw.EvaluateTechniquesCtx(context.Background(), w, outage); !errors.Is(err, backuppower.ErrInvalidInput) {
+			t.Errorf("EvaluateTechniquesCtx(outage=%v): err = %v, want ErrInvalidInput", outage, err)
+		}
+	}
+
+	// The boundary of the band: MaxOutage itself is accepted.
+	if _, err := fw.Evaluate(b, tech, w, backuppower.MaxOutage); err != nil {
+		t.Errorf("Evaluate(outage=MaxOutage): unexpected error %v", err)
+	}
+}
+
+// TestEvaluateRejectsBadServerCounts pins the server-count check.
+func TestEvaluateRejectsBadServerCounts(t *testing.T) {
+	fw := backuppower.NewFramework(64)
+	fw.Env.Servers = 0
+	b := backuppower.LargeEUPS(16 * backuppower.Kilowatt)
+	if _, err := fw.Evaluate(b, backuppower.Baseline{}, backuppower.Specjbb(), time.Hour); !errors.Is(err, backuppower.ErrInvalidInput) {
+		t.Errorf("Evaluate with 0 servers: err = %v, want ErrInvalidInput", err)
+	}
+	var ie *backuppower.InputError
+	if _, _, err := fw.MinCostUPSCtx(context.Background(), backuppower.Sleep{}, backuppower.Specjbb(), time.Hour); !errors.As(err, &ie) || ie.Field != "env.servers" {
+		t.Errorf("MinCostUPSCtx with 0 servers: err = %v, want *InputError on env.servers", err)
+	}
+}
+
+// TestEvaluateCtxHonorsDeadline pins the new context-aware single-scenario
+// entry point: an already-expired context is rejected with the context's
+// own error, not an input error.
+func TestEvaluateCtxHonorsDeadline(t *testing.T) {
+	fw := backuppower.NewFramework(64)
+	b := backuppower.LargeEUPS(fw.Env.PeakPower())
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	_, err := fw.EvaluateCtx(ctx, b, backuppower.Baseline{}, backuppower.Specjbb(), time.Hour)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EvaluateCtx(expired): err = %v, want DeadlineExceeded", err)
+	}
+	if errors.Is(err, backuppower.ErrInvalidInput) {
+		t.Fatal("context expiry must not masquerade as invalid input")
+	}
+	// And the same call with a live context succeeds.
+	if _, err := fw.EvaluateCtx(context.Background(), b, backuppower.Baseline{}, backuppower.Specjbb(), time.Hour); err != nil {
+		t.Fatalf("EvaluateCtx(live): unexpected error %v", err)
+	}
+}

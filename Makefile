@@ -6,9 +6,9 @@ BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|
 BENCH_COUNT   ?= 10
 BENCH_DIR     ?= .bench
 
-.PHONY: ci vet build test race race-httpapi fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare
+.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare
 
-ci: vet build race race-httpapi bench-alloc bench-smoke
+ci: vet build race race-httpapi cover bench-alloc bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,11 +28,25 @@ race:
 race-httpapi:
 	$(GO) test -race -count=1 ./internal/httpapi
 
+# Coverage report plus a floor for the grid package: the declarative
+# sweep layer is the trunk every surface (HTTP, CLI, figures) routes
+# through, so its statement coverage must stay at or above 85%.
+COVER_FLOOR := 85.0
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/grid/
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v got="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (got+0 < floor+0) { printf "internal/grid coverage %.1f%% is below the %.1f%% floor\n", got, floor; exit 1 } \
+		printf "internal/grid coverage %.1f%% meets the %.1f%% floor\n", got, floor }'
+	@rm -f cover.out
+
 # Short live-fuzz runs of every fuzz target (the committed seed corpora
 # already run in plain `make test`); lengthen with FUZZTIME=1m etc.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeEvaluateRequest -fuzztime=$(FUZZTIME) ./internal/httpapi
+	$(GO) test -fuzz=FuzzDecodeSweepRequest -fuzztime=$(FUZZTIME) ./internal/httpapi
 	$(GO) test -fuzz=FuzzParsePower -fuzztime=$(FUZZTIME) ./internal/units
 	$(GO) test -fuzz=FuzzParseDuration -fuzztime=$(FUZZTIME) ./internal/units
 

@@ -4,8 +4,9 @@
 // while the shared scenario cache warms across them.
 //
 // Endpoints (see internal/httpapi): POST /v1/evaluate, /v1/size,
-// /v1/best; GET /v1/techniques, /v1/workloads, /healthz, /metrics, and
-// (with -pprof) /debug/pprof/.
+// /v1/best, /v1/sweep (streamed NDJSON grids, bounded by
+// -max-sweep-rows); GET /v1/techniques, /v1/workloads, /healthz,
+// /metrics, and (with -pprof) /debug/pprof/.
 //
 // Flags: -addr sets the listen address, -servers the modeled datacenter
 // scale, -parallel the default sweep worker-pool width per request,
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"backuppower/internal/core"
+	"backuppower/internal/grid"
 	"backuppower/internal/httpapi"
 )
 
@@ -40,6 +42,8 @@ func main() {
 		"maximum concurrently evaluating requests (excess gets 429)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown grace for in-flight requests")
+	maxSweepRows := flag.Int("max-sweep-rows", grid.DefaultMaxRows,
+		"maximum rows one /v1/sweep grid may expand to")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/")
 	flag.Parse()
 
@@ -47,11 +51,12 @@ func main() {
 		log.Fatalf("backupd: -servers %d must be >= 1", *servers)
 	}
 	api, err := httpapi.New(httpapi.Config{
-		Framework:   core.New(*servers),
-		MaxInflight: *maxInflight,
-		Timeout:     *timeout,
-		Width:       *parallel,
-		EnablePprof: *pprofOn,
+		Framework:    core.New(*servers),
+		MaxInflight:  *maxInflight,
+		Timeout:      *timeout,
+		Width:        *parallel,
+		EnablePprof:  *pprofOn,
+		MaxSweepRows: *maxSweepRows,
 	})
 	if err != nil {
 		log.Fatalf("backupd: %v", err)

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"backuppower/internal/core"
+	"backuppower/internal/httpapi"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// runCLI invokes the testable entry point and returns (stdout, stderr, exit).
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/gridrun -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from golden file %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestGoldenNDJSON pins the CLI's NDJSON stream for one spec per op.
+func TestGoldenNDJSON(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"evaluate", []string{"-workloads", "specjbb", "-configs", "MaxPerf,NoDG",
+			"-techniques", "baseline;throttling:pstate=3", "-outages", "30s,30m"}},
+		{"size", []string{"-op", "size", "-workloads", "web-search",
+			"-techniques", "hibernate:proactive=true;baseline", "-outages", "1h"}},
+		{"best", []string{"-op", "best", "-workloads", "memcached", "-configs", "SmallPUPS,MinCost",
+			"-outages", "30m"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			stdout, stderr, code := runCLI(t, c.args...)
+			if code != 0 {
+				t.Fatalf("exit %d: %s", code, stderr)
+			}
+			checkGolden(t, c.name+".ndjson", stdout)
+		})
+	}
+}
+
+// TestGoldenTable pins the -format table rendering.
+func TestGoldenTable(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-op", "size", "-workloads", "memcached",
+		"-techniques", "hibernate;throttling:pstate=6", "-outages", "5m,1h", "-format", "table")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	checkGolden(t, "size.table", stdout)
+}
+
+// TestDeterministicAcrossWidthAndShard: the CLI's own half of the
+// tentpole contract — identical bytes at -parallel 1 vs 8 and any -shard.
+func TestDeterministicAcrossWidthAndShard(t *testing.T) {
+	base := []string{"-workloads", "specjbb,memcached", "-configs", "MaxPerf,LargeEUPS",
+		"-techniques", "baseline;sleep:low_power=true", "-outages", "30s,5m,30m"}
+	baseline, stderr, code := runCLI(t, append([]string{"-parallel", "1", "-shard", "1"}, base...)...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	if strings.Count(baseline, "\n") != 24 {
+		t.Fatalf("baseline has %d rows, want 24", strings.Count(baseline, "\n"))
+	}
+	for _, extra := range [][]string{
+		{"-parallel", "8"},
+		{"-parallel", "8", "-shard", "3"},
+		{"-parallel", "2", "-shard", "1000"},
+		{"-shard", "5", "-progress"},
+	} {
+		got, _, code := runCLI(t, append(extra, base...)...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d", extra, code)
+		}
+		if got != baseline {
+			t.Fatalf("output with %v diverged from the serial baseline", extra)
+		}
+	}
+}
+
+// TestMatchesSweepEndpoint pins the two surfaces together: a spec file
+// run through the CLI must produce byte-for-byte the rows POST /v1/sweep
+// streams for the same spec (both default to 64 servers).
+func TestMatchesSweepEndpoint(t *testing.T) {
+	spec := `{
+		"op": "best",
+		"workloads": ["specjbb", "web-search"],
+		"configs": [{"name": "MaxPerf"}, {"name": "MinCost"}],
+		"outages": ["30s", "1h"]
+	}`
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runCLI(t, "-spec", specPath, "-parallel", "4", "-shard", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+
+	srv, err := httpapi.New(httpapi.Config{Framework: core.New(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(`{"spec":`+spec+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	if stdout != string(body) {
+		t.Fatalf("CLI and /v1/sweep rows diverged for the same spec:\ncli:\n%s\nhttp:\n%s", stdout, body)
+	}
+}
+
+// TestProgressReporting checks the -progress shard counters on stderr.
+func TestProgressReporting(t *testing.T) {
+	_, stderr, code := runCLI(t, "-workloads", "specjbb", "-configs", "MaxPerf",
+		"-techniques", "baseline", "-outages", "30s,5m,30m,1h", "-shard", "2", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	want := "gridrun: shard 1/2 (2/4 rows)\ngridrun: shard 2/2 (4/4 rows)\n"
+	if stderr != want {
+		t.Fatalf("progress output:\n%s\nwant:\n%s", stderr, want)
+	}
+}
+
+// TestUsageErrors pins the exit-code contract: anything wrong with the
+// invocation or the spec is exit 2 with a diagnostic on stderr.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad format", []string{"-format", "xml"}, "must be ndjson or table"},
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"compile error", []string{"-workloads", "doom", "-configs", "MaxPerf",
+			"-techniques", "baseline", "-outages", "30s"}, "workloads[0]"},
+		{"bad technique flag", []string{"-techniques", "throttling:pstate=deep"}, "not an integer"},
+		{"bad servers flag", []string{"-servers", "4,many"}, "not an integer"},
+		{"missing spec file", []string{"-spec", "/nonexistent/spec.json"}, "no such file"},
+		{"oversize grid", []string{"-op", "size", "-variants", "-workloads", "specjbb",
+			"-outages", "30s", "-max-rows", "3"}, "too_many_rows"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			stdout, stderr, code := runCLI(t, c.args...)
+			if code != 2 {
+				t.Fatalf("exit %d (stdout %q, stderr %q), want 2", code, stdout, stderr)
+			}
+			if !strings.Contains(stderr, c.want) {
+				t.Fatalf("stderr %q does not mention %q", stderr, c.want)
+			}
+		})
+	}
+}
+
+// TestSpecFileTrailingData: the file decoder is as strict as the HTTP one.
+func TestSpecFileTrailingData(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(p, []byte(`{"workloads":["specjbb"]} extra`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runCLI(t, "-spec", p)
+	if code != 2 || !strings.Contains(stderr, "trailing data") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestOutputFile: -o writes the same bytes a stdout run produces.
+func TestOutputFile(t *testing.T) {
+	args := []string{"-workloads", "specjbb", "-configs", "MaxPerf",
+		"-techniques", "baseline", "-outages", "30s"}
+	stdout, _, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatal("stdout run failed")
+	}
+	path := filepath.Join(t.TempDir(), "rows.ndjson")
+	_, stderr, code := runCLI(t, append([]string{"-o", path}, args...)...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != stdout {
+		t.Fatal("-o file differs from stdout output")
+	}
+}

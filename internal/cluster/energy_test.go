@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"testing"
+
+	"backuppower/internal/units"
+)
+
+// energySeeds is how many generator-driven scenarios the conservation
+// tests sweep. The seeds are fixed (0..N-1), so every run checks the
+// exact same scenario set.
+const energySeeds = 300
+
+// TestSegmentsTileOutageWindow checks, on generator-driven scenarios,
+// that the segment decomposition is an exact tiling of the outage
+// window: starts at zero, strictly increasing non-empty intervals, each
+// segment beginning where the previous ended, ending exactly at the
+// horizon — and that every segment's power split balances
+// (Load = DGSupply + UPSNeed, both non-negative).
+func TestSegmentsTileOutageWindow(t *testing.T) {
+	for seed := int64(0); seed < energySeeds; seed++ {
+		s := randomScenario(seed)
+		plan := s.Technique.Plan(s.Env, s.Workload, s.Outage)
+		segs := Segments(s.Env, s.Workload, plan, s.Backup.DG, s.Outage)
+		if len(segs) == 0 {
+			t.Fatalf("seed %d: no segments for a positive outage", seed)
+		}
+		if segs[0].Start != 0 {
+			t.Fatalf("seed %d: first segment starts at %v, not 0", seed, segs[0].Start)
+		}
+		if last := segs[len(segs)-1].End; last != s.Outage {
+			t.Fatalf("seed %d: last segment ends at %v, outage is %v", seed, last, s.Outage)
+		}
+		for i, seg := range segs {
+			if seg.End <= seg.Start {
+				t.Fatalf("seed %d: segment %d empty or inverted: [%v, %v)", seed, i, seg.Start, seg.End)
+			}
+			if i > 0 && seg.Start != segs[i-1].End {
+				t.Fatalf("seed %d: gap/overlap at segment %d: prev ends %v, next starts %v",
+					seed, i, segs[i-1].End, seg.Start)
+			}
+			if seg.DGSupply < 0 || seg.UPSNeed < 0 {
+				t.Fatalf("seed %d: segment %d negative supply split: DG %v, UPS %v",
+					seed, i, seg.DGSupply, seg.UPSNeed)
+			}
+			if diff := seg.Load - seg.DGSupply - seg.UPSNeed; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("seed %d: segment %d power imbalance: load %v != DG %v + UPS %v",
+					seed, i, seg.Load, seg.DGSupply, seg.UPSNeed)
+			}
+		}
+	}
+}
+
+// TestUPSEnergyConservation checks, on the same generated scenarios,
+// that the energy SimulateAggregate reports as drawn from the UPS never
+// exceeds (a) the total UPS-side demand of the outage window's segments
+// and (b) the pack's best-case deliverable energy (rated capacity with
+// the Peukert stretch at the minimum-load floor) — and is exactly zero
+// when no UPS is provisioned.
+func TestUPSEnergyConservation(t *testing.T) {
+	for seed := int64(0); seed < energySeeds; seed++ {
+		s := randomScenario(seed)
+		r, err := SimulateAggregate(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !s.Backup.UPS.Provisioned() {
+			if r.UPSEnergy != 0 {
+				t.Fatalf("seed %d: %v drawn from an absent UPS", seed, r.UPSEnergy)
+			}
+			continue
+		}
+		plan := s.Technique.Plan(s.Env, s.Workload, s.Outage)
+		var demand units.WattHours
+		for _, seg := range Segments(s.Env, s.Workload, plan, s.Backup.DG, s.Outage) {
+			demand += units.WattHours(float64(seg.UPSNeed) * (seg.End - seg.Start).Hours())
+		}
+		if float64(r.UPSEnergy) > float64(demand)*(1+1e-9)+1e-9 {
+			t.Fatalf("seed %d: drew %v from the UPS, window demand only %v", seed, r.UPSEnergy, demand)
+		}
+		pack := s.Backup.UPS.Pack()
+		deliverable := pack.EffectiveEnergyAt(units.Watts(float64(pack.RatedPower) * pack.Tech.MinLoadFraction))
+		if float64(r.UPSEnergy) > float64(deliverable)*1.01 {
+			t.Fatalf("seed %d: drew %v, pack can deliver at most %v", seed, r.UPSEnergy, deliverable)
+		}
+	}
+}
+
+// TestAggregateMatchesTraceOnGeneratedScenarios extends the fixed-case
+// aggregate/trace equivalence to generator-driven inputs: for every
+// generated scenario, SimulateAggregate must reproduce every aggregate
+// metric of the trace-recording Simulate path bit for bit.
+func TestAggregateMatchesTraceOnGeneratedScenarios(t *testing.T) {
+	for seed := int64(0); seed < energySeeds; seed++ {
+		s := randomScenario(seed)
+		traced, err := Simulate(s)
+		if err != nil {
+			t.Fatalf("seed %d: Simulate: %v", seed, err)
+		}
+		agg, err := SimulateAggregate(s)
+		if err != nil {
+			t.Fatalf("seed %d: SimulateAggregate: %v", seed, err)
+		}
+		traced.PerfTrace, traced.PowerTrace = nil, nil
+		if agg != traced {
+			t.Fatalf("seed %d: aggregate path diverged from trace path:\n  trace: %+v\n  aggr:  %+v",
+				seed, traced, agg)
+		}
+	}
+}
+
+// TestGeneratedScenariosCoverRegimes guards the generator itself: across
+// the fixed seed range it must exercise crashes, survivals, DG-backed
+// and UPS-only configurations — otherwise the conservation tests above
+// silently lose coverage.
+func TestGeneratedScenariosCoverRegimes(t *testing.T) {
+	var crashed, survived, withDG, upsOnly int
+	for seed := int64(0); seed < energySeeds; seed++ {
+		s := randomScenario(seed)
+		r, err := SimulateAggregate(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Survived {
+			survived++
+		} else {
+			crashed++
+		}
+		if s.Backup.DG.Provisioned() {
+			withDG++
+		} else {
+			upsOnly++
+		}
+	}
+	for name, n := range map[string]int{
+		"crashed": crashed, "survived": survived, "with-DG": withDG, "ups-only": upsOnly,
+	} {
+		if n < energySeeds/20 {
+			t.Errorf("generator regime %q underrepresented: %d of %d scenarios", name, n, energySeeds)
+		}
+	}
+}

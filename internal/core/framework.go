@@ -317,6 +317,26 @@ type variant struct {
 	tech   technique.Technique
 }
 
+// TechVariant is an exported (family, technique) pair: one concrete
+// instance of a Section 6 technique family. The grid subsystem sweeps the
+// same variant set the figures do, so its enumeration lives here.
+type TechVariant struct {
+	Family string
+	Tech   technique.Technique
+}
+
+// TechVariants expands the Section 6 technique families into concrete
+// instances in the canonical evaluation order — the exact set and order
+// EvaluateTechniquesCtx races, exported for declarative grid specs.
+func (f *Framework) TechVariants() []TechVariant {
+	vs := f.variants()
+	out := make([]TechVariant, len(vs))
+	for i, v := range vs {
+		out[i] = TechVariant{Family: v.family, Tech: v.tech}
+	}
+	return out
+}
+
 // variants expands the Section 6 technique families into concrete
 // instances: throttling across the DVFS range, hybrids across
 // active-fraction splits.
@@ -376,35 +396,47 @@ func (f *Framework) EvaluateTechniquesCtx(ctx context.Context, w workload.Spec, 
 	if err := f.validateCall(outage); err != nil {
 		return nil, err
 	}
+	points, err := sweep.Map(ctx, f.variants(), func(ctx context.Context, v variant) (VariantPoint, error) {
+		op, ok, err := f.MinCostUPSCtx(ctx, v.tech, w, outage)
+		if err != nil {
+			return VariantPoint{}, err
+		}
+		return VariantPoint{Family: v.family, Op: op, OK: ok}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FoldSummaries(points), nil
+}
+
+// VariantPoint is one variant's sizing outcome on its way into a family
+// fold: the family label plus the min-cost operating point (OK false when
+// no UPS-only configuration lets the variant survive the outage).
+type VariantPoint struct {
+	Family string
+	Op     OperatingPoint
+	OK     bool
+}
+
+// FoldSummaries reduces per-variant operating points (in variant order)
+// into per-family band summaries, families in presentation order — the
+// serial fold behind Figures 6-9, shared by EvaluateTechniquesCtx and the
+// grid-spec figure generators so both produce identical tables.
+func FoldSummaries(points []VariantPoint) []TechniqueSummary {
 	byFamily := map[string]*TechniqueSummary{}
 	order := Families()
 	for _, name := range order {
 		byFamily[name] = &TechniqueSummary{Technique: name}
 	}
-	type variantPoint struct {
-		family string
-		op     OperatingPoint
-		ok     bool
-	}
-	points, err := sweep.Map(ctx, f.variants(), func(ctx context.Context, v variant) (variantPoint, error) {
-		op, ok, err := f.MinCostUPSCtx(ctx, v.tech, w, outage)
-		if err != nil {
-			return variantPoint{}, err
-		}
-		return variantPoint{family: v.family, op: op, ok: ok}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
 	for _, p := range points {
-		if !p.ok {
+		if !p.OK {
 			continue
 		}
-		s := byFamily[p.family]
+		s := byFamily[p.Family]
 		if s == nil {
 			continue
 		}
-		op := p.op
+		op := p.Op
 		s.Points = append(s.Points, op)
 		if !s.Feasible {
 			s.Feasible = true
@@ -421,7 +453,7 @@ func (f *Framework) EvaluateTechniquesCtx(ctx context.Context, w workload.Spec, 
 	for _, name := range order {
 		out = append(out, *byFamily[name])
 	}
-	return out, nil
+	return out
 }
 
 // BestForConfig picks the technique (across all variants, plus the plain

@@ -5,14 +5,10 @@ import (
 	"fmt"
 	"time"
 
-	"backuppower/internal/cluster"
 	"backuppower/internal/core"
-	"backuppower/internal/cost"
+	"backuppower/internal/grid"
 	"backuppower/internal/report"
-	"backuppower/internal/sweep"
 	"backuppower/internal/tco"
-	"backuppower/internal/technique"
-	"backuppower/internal/units"
 	"backuppower/internal/workload"
 )
 
@@ -21,55 +17,73 @@ var fig5Durations = []time.Duration{
 	30 * time.Second, 5 * time.Minute, 30 * time.Minute, time.Hour, 2 * time.Hour,
 }
 
-// fig5Configs are the six configurations Figure 5 plots.
-func fig5Configs(peak units.Watts) []cost.Backup {
-	return []cost.Backup{
-		cost.MaxPerf(peak), cost.DGSmallPUPS(peak), cost.LargeEUPS(peak),
-		cost.NoDG(peak), cost.SmallPLargeEUPS(peak), cost.MinCost(peak),
+// fig5ConfigNames are the six Table 3 configurations Figure 5 plots, in
+// presentation order.
+var fig5ConfigNames = []string{
+	"MaxPerf", "DG-SmallPUPS", "LargeEUPS", "NoDG", "SmallP-LargeEUPS", "MinCost",
+}
+
+// outageStrings renders durations as grid-spec axis values.
+func outageStrings(ds []time.Duration) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
 	}
+	return out
+}
+
+// configAxis renders Table 3 names as grid-spec axis values.
+func configAxis(names []string) []grid.ConfigDTO {
+	out := make([]grid.ConfigDTO, len(names))
+	for i, n := range names {
+		out[i] = grid.ConfigDTO{Name: n}
+	}
+	return out
+}
+
+// runGrid compiles and runs a figure's declarative spec against the
+// default framework. The cross-product enumerates configs (or technique
+// variants) outside outages, so rows come back config-major — the order
+// the figure tables fold in.
+func runGrid(ctx context.Context, spec grid.Spec) ([]grid.RowResult, error) {
+	f := framework()
+	plan, err := grid.Compile(spec, grid.CompileOptions{DefaultServers: f.Env.Servers})
+	if err != nil {
+		return nil, err
+	}
+	return grid.NewRunner(f).Run(ctx, plan, grid.RunOptions{})
 }
 
 // Fig5 reproduces the configuration trade-off study for SPECjbb: for every
 // configuration and outage duration, the best technique's performance and
 // down time (Figure 5's selection rule), plus the configuration cost. The
-// 6×5 (configuration, duration) grid fans out through the sweep engine;
-// rows are emitted in grid order so the table matches a serial run.
+// 6×5 (configuration, duration) study is a declarative grid spec — op
+// "best" crossing the six Table 3 configurations with the five durations —
+// run through the shared grid engine; rows come back in spec order, so the
+// table matches a serial run (and the pre-grid loop) byte for byte.
 func Fig5(ctx context.Context) report.Table {
 	t := report.Table{
 		Title:   "Figure 5: cost/performance/downtime of configurations (SPECjbb)",
 		Columns: []string{"configuration", "cost", "outage", "best technique", "perf", "downtime"},
 	}
 	f := framework()
-	w := workload.Specjbb()
-	type cell struct {
-		b cost.Backup
-		d time.Duration
-	}
-	var grid []cell
-	for _, b := range fig5Configs(f.Env.PeakPower()) {
-		for _, d := range fig5Durations {
-			grid = append(grid, cell{b, d})
-		}
-	}
-	type cellOut struct {
-		res  cluster.Result
-		tech technique.Technique
-	}
-	outs, err := sweep.Map(ctx, grid, func(ctx context.Context, c cell) (cellOut, error) {
-		res, tech, err := f.BestForConfigCtx(ctx, c.b, w, c.d)
-		return cellOut{res, tech}, err
+	rows, err := runGrid(ctx, grid.Spec{
+		Op:        grid.OpBest,
+		Workloads: []string{workload.Specjbb().Name},
+		Configs:   configAxis(fig5ConfigNames),
+		Outages:   outageStrings(fig5Durations),
 	})
 	if err != nil {
 		t.Notes = append(t.Notes, "failed: "+err.Error())
 		return t
 	}
-	for i, o := range outs {
-		name := "-"
-		if o.tech != nil {
-			name = o.tech.Name()
+	for _, r := range rows {
+		name := r.Best
+		if name == "" {
+			name = "-"
 		}
-		t.AddRow(grid[i].b.Name, grid[i].b.NormalizedCost(f.Env.PeakPower()), grid[i].d, name,
-			o.res.Perf, report.DurationBand(o.res.DowntimeMin, o.res.DowntimeMax))
+		t.AddRow(r.Point.Config.Name, r.Point.Config.NormalizedCost(f.Env.PeakPower()), r.Point.Outage, name,
+			r.Result.Perf, report.DurationBand(r.Result.DowntimeMin, r.Result.DowntimeMax))
 	}
 	t.Notes = append(t.Notes,
 		"paper: LargeEUPS matches MaxPerf perf to 30m at 0.55 cost; NoDG dies past ~2m; MinCost ~400s down even for 30s")
@@ -78,24 +92,34 @@ func Fig5(ctx context.Context) report.Table {
 
 // figTechniques renders the Figures 6-9 layout for one workload: for each
 // outage duration and technique family, the min-cost operating band. The
-// durations fan out in parallel (each duration's variant race is itself
-// parallel); rows stay in duration order.
+// study is a declarative grid spec — op "size" crossing the full technique
+// variant set with the durations; the grid enumerates variant-major, so the
+// fold regroups rows per duration (row of variant ti, duration di sits at
+// ti*len(durations)+di) and reduces them through the same family fold the
+// framework's own sweep uses, keeping the table byte-identical to it.
 func figTechniques(ctx context.Context, title string, w workload.Spec, durations []time.Duration) report.Table {
 	t := report.Table{
 		Title:   title,
 		Columns: []string{"outage", "technique", "cost", "perf", "downtime"},
 	}
-	f := framework()
-	sums, err := sweep.Map(ctx, durations, func(ctx context.Context, d time.Duration) ([]core.TechniqueSummary, error) {
-		return f.EvaluateTechniquesCtx(ctx, w, d)
+	rows, err := runGrid(ctx, grid.Spec{
+		Op:                grid.OpSize,
+		Workloads:         []string{w.Name},
+		TechniqueVariants: true,
+		Outages:           outageStrings(durations),
 	})
 	if err != nil {
 		t.Notes = append(t.Notes, "failed: "+err.Error())
 		return t
 	}
-	for i, perDuration := range sums {
-		d := durations[i]
-		for _, s := range perDuration {
+	nvariants := len(rows) / len(durations)
+	for di, d := range durations {
+		points := make([]core.VariantPoint, 0, nvariants)
+		for ti := 0; ti < nvariants; ti++ {
+			r := rows[ti*len(durations)+di]
+			points = append(points, core.VariantPoint{Family: r.Point.Family, Op: r.Sizing, OK: r.Feasible})
+		}
+		for _, s := range core.FoldSummaries(points) {
 			if !s.Feasible {
 				t.AddRow(d, s.Technique, "infeasible", "-", "-")
 				continue

@@ -1,0 +1,454 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"backuppower/internal/core"
+	"backuppower/internal/cost"
+	"backuppower/internal/technique"
+	"backuppower/internal/units"
+	"backuppower/internal/workload"
+)
+
+// The wire axis-element types and their resolvers. These are the single
+// source of truth for turning request JSON into model values: the HTTP
+// layer (POST /v1/evaluate, /v1/sweep, ...) and cmd/gridrun both decode
+// into these DTOs and resolve through these functions, so field names,
+// validation rules, and error codes cannot drift between surfaces.
+
+// ConfigDTO selects a backup configuration: either a Table 3 name
+// ("MaxPerf", "NoDG", "LargeEUPS", ... — scaled to the serving
+// environment's peak power), or a custom configuration from explicit
+// capacities. Exactly one of the two forms must be used.
+type ConfigDTO struct {
+	Name       string `json:"name,omitempty"`
+	DGPower    string `json:"dg_power,omitempty"`
+	UPSPower   string `json:"ups_power,omitempty"`
+	UPSRuntime string `json:"ups_runtime,omitempty"`
+}
+
+// TechniqueDTO selects an outage-handling technique by family name plus
+// the family's parameters. Parameters that do not apply to the named
+// family are rejected, not ignored.
+type TechniqueDTO struct {
+	Name           string   `json:"name"`
+	PState         *int     `json:"pstate,omitempty"`
+	LowPower       *bool    `json:"low_power,omitempty"`
+	Proactive      *bool    `json:"proactive,omitempty"`
+	ThrottleDeep   *bool    `json:"throttle_deep,omitempty"`
+	Save           string   `json:"save,omitempty"`
+	ActiveFraction *float64 `json:"active_fraction,omitempty"`
+	Budget         string   `json:"budget,omitempty"`
+}
+
+// FieldError is a typed request rejection: a stable machine-readable
+// code, the offending field (dotted path, axis elements as "axis[i]"),
+// and a human message. The HTTP layer maps it to a 4xx body; the CLI
+// prints it.
+type FieldError struct {
+	Code    string
+	Field   string
+	Message string
+}
+
+func (e *FieldError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("%s: %s: %s", e.Code, e.Field, e.Message)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+func fieldErrf(code, field, format string, args ...any) *FieldError {
+	return &FieldError{Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// refield re-roots a FieldError at an axis position: the resolver's
+// generic first path segment ("config", "technique.pstate", "outage") is
+// replaced by the element's position ("configs[1]", "techniques[0].pstate",
+// "outages[2]") so a multi-element spec error names the exact element.
+func refield(err error, base string) error {
+	fe, ok := err.(*FieldError)
+	if !ok {
+		return err
+	}
+	field := base
+	if i := strings.IndexByte(fe.Field, '.'); i >= 0 {
+		field += fe.Field[i:]
+	}
+	return &FieldError{Code: fe.Code, Field: field, Message: fe.Message}
+}
+
+// MaxOutage bounds the outage axis, mirroring the framework's own input
+// validation.
+const MaxOutage = time.Duration(core.MaxOutage)
+
+// ParseOutage validates an outage duration: parseable, positive, and
+// inside the framework's accepted band.
+func ParseOutage(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, fieldErrf("missing_field", "outage", "outage duration is required")
+	}
+	d, err := units.ParseDuration(s)
+	if err != nil {
+		return 0, fieldErrf("invalid_duration", "outage", "%v", err)
+	}
+	if d <= 0 {
+		return 0, fieldErrf("out_of_range", "outage", "outage %v must be positive", d)
+	}
+	if d > MaxOutage {
+		return 0, fieldErrf("out_of_range", "outage", "outage %v exceeds the %v maximum", d, MaxOutage)
+	}
+	return d, nil
+}
+
+// parseFilterDuration parses a filter bound, which (unlike an outage
+// axis value) only needs to be a valid non-negative duration.
+func parseFilterDuration(s, field string) (time.Duration, error) {
+	d, err := units.ParseDuration(s)
+	if err != nil {
+		return 0, fieldErrf("invalid_duration", field, "%v", err)
+	}
+	if d < 0 {
+		return 0, fieldErrf("out_of_range", field, "%v must be non-negative", d)
+	}
+	return d, nil
+}
+
+// ResolveWorkload maps a workload name to its calibrated spec.
+func ResolveWorkload(name string) (workload.Spec, error) {
+	if name == "" {
+		return workload.Spec{}, fieldErrf("missing_field", "workload", "workload name is required")
+	}
+	if w, ok := workload.ByName(name); ok {
+		return w, nil
+	}
+	var known []string
+	for _, w := range workload.All() {
+		known = append(known, w.Name)
+	}
+	return workload.Spec{}, fieldErrf("unknown_workload", "workload",
+		"unknown workload %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// ResolveConfig maps a ConfigDTO to a concrete backup configuration.
+// peak is the serving datacenter's peak power, which scales the named
+// Table 3 configurations.
+func ResolveConfig(d ConfigDTO, peak units.Watts) (cost.Backup, error) {
+	custom := d.DGPower != "" || d.UPSPower != "" || d.UPSRuntime != ""
+	if d.Name != "" && !custom {
+		for _, b := range cost.Table3(peak) {
+			if strings.EqualFold(b.Name, d.Name) {
+				return b, nil
+			}
+		}
+		var known []string
+		for _, b := range cost.Table3(peak) {
+			known = append(known, b.Name)
+		}
+		return cost.Backup{}, fieldErrf("unknown_config", "config.name",
+			"unknown configuration %q (known: %s; or give dg_power/ups_power/ups_runtime)",
+			d.Name, strings.Join(known, ", "))
+	}
+	if d.Name != "" && custom {
+		return cost.Backup{}, fieldErrf("invalid_config", "config",
+			"give either a named configuration or custom capacities, not both")
+	}
+	if !custom {
+		return cost.Backup{}, fieldErrf("missing_field", "config",
+			"configuration is required: a Table 3 name or dg_power/ups_power/ups_runtime")
+	}
+	var dg, upsP units.Watts
+	var upsRT time.Duration
+	var err error
+	if d.DGPower != "" {
+		if dg, err = units.ParsePower(d.DGPower); err != nil {
+			return cost.Backup{}, fieldErrf("invalid_power", "config.dg_power", "%v", err)
+		}
+	}
+	if d.UPSPower != "" {
+		if upsP, err = units.ParsePower(d.UPSPower); err != nil {
+			return cost.Backup{}, fieldErrf("invalid_power", "config.ups_power", "%v", err)
+		}
+	}
+	if d.UPSRuntime != "" {
+		if upsRT, err = units.ParseDuration(d.UPSRuntime); err != nil {
+			return cost.Backup{}, fieldErrf("invalid_duration", "config.ups_runtime", "%v", err)
+		}
+		if upsRT < 0 {
+			return cost.Backup{}, fieldErrf("out_of_range", "config.ups_runtime", "runtime %v must be non-negative", upsRT)
+		}
+		if upsP == 0 {
+			return cost.Backup{}, fieldErrf("invalid_config", "config.ups_runtime", "ups_runtime without ups_power")
+		}
+	}
+	// Sanity bound: a configuration larger than 100x the datacenter peak
+	// is a unit mistake, not a design point.
+	if limit := peak * 100; dg > limit || upsP > limit {
+		return cost.Backup{}, fieldErrf("out_of_range", "config",
+			"capacity exceeds 100x the datacenter peak (%v)", peak)
+	}
+	b := cost.Custom("custom", dg, upsP, upsRT)
+	return b, nil
+}
+
+// techniqueParam records one settable TechniqueDTO parameter for the
+// applicability check.
+type techniqueParam struct {
+	name string
+	set  bool
+}
+
+func (d TechniqueDTO) params() []techniqueParam {
+	return []techniqueParam{
+		{"pstate", d.PState != nil},
+		{"low_power", d.LowPower != nil},
+		{"proactive", d.Proactive != nil},
+		{"throttle_deep", d.ThrottleDeep != nil},
+		{"save", d.Save != ""},
+		{"active_fraction", d.ActiveFraction != nil},
+		{"budget", d.Budget != ""},
+	}
+}
+
+// techniqueSpec describes one supported technique family: which params
+// apply and how to build the concrete instance.
+type techniqueSpec struct {
+	params []string
+	doc    string
+	build  func(deepestPState int, d TechniqueDTO) (technique.Technique, error)
+}
+
+func has(params []string, name string) bool {
+	for _, p := range params {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// techniqueSpecs is the registry of wire-exposed techniques, keyed by
+// normalized name.
+var techniqueSpecs = map[string]techniqueSpec{
+	"baseline": {
+		doc: "full service until the backup dies (MaxPerf/MinCost behavior)",
+		build: func(_ int, _ TechniqueDTO) (technique.Technique, error) {
+			return technique.Baseline{}, nil
+		},
+	},
+	"throttling": {
+		params: []string{"pstate"},
+		doc:    "run in a reduced DVFS P-state (pstate 1 = lightest, deepest = slowest)",
+		build: func(deepest int, d TechniqueDTO) (technique.Technique, error) {
+			p, err := requirePState(deepest, d)
+			if err != nil {
+				return nil, err
+			}
+			return technique.Throttling{PState: p}, nil
+		},
+	},
+	"capped-throttling": {
+		params: []string{"budget"},
+		doc:    "budget-driven capping: the fastest P/T state fitting under a power budget",
+		build: func(_ int, d TechniqueDTO) (technique.Technique, error) {
+			if d.Budget == "" {
+				return nil, fieldErrf("missing_field", "technique.budget", "capped-throttling needs a power budget")
+			}
+			w, err := units.ParsePower(d.Budget)
+			if err != nil {
+				return nil, fieldErrf("invalid_power", "technique.budget", "%v", err)
+			}
+			if w <= 0 {
+				return nil, fieldErrf("out_of_range", "technique.budget", "budget must be positive")
+			}
+			return technique.CappedThrottling{Budget: w}, nil
+		},
+	},
+	"migration": {
+		params: []string{"proactive", "throttle_deep"},
+		doc:    "consolidate onto fewer servers via live migration",
+		build: func(_ int, d TechniqueDTO) (technique.Technique, error) {
+			return technique.Migration{
+				Proactive:    d.Proactive != nil && *d.Proactive,
+				ThrottleDeep: d.ThrottleDeep != nil && *d.ThrottleDeep,
+			}, nil
+		},
+	},
+	"sleep": {
+		params: []string{"low_power"},
+		doc:    "suspend to RAM (S3); low_power throttles during the transition",
+		build: func(_ int, d TechniqueDTO) (technique.Technique, error) {
+			return technique.Sleep{LowPower: d.LowPower != nil && *d.LowPower}, nil
+		},
+	},
+	"hibernate": {
+		params: []string{"low_power", "proactive"},
+		doc:    "suspend to disk (S4); proactive pre-flushes dirty state",
+		build: func(_ int, d TechniqueDTO) (technique.Technique, error) {
+			return technique.Hibernate{
+				LowPower:  d.LowPower != nil && *d.LowPower,
+				Proactive: d.Proactive != nil && *d.Proactive,
+			}, nil
+		},
+	},
+	"throttle-then-save": {
+		params: []string{"pstate", "save", "active_fraction"},
+		doc:    "serve throttled for a fraction of the outage, then save state",
+		build: func(deepest int, d TechniqueDTO) (technique.Technique, error) {
+			p, err := requirePState(deepest, d)
+			if err != nil {
+				return nil, err
+			}
+			save, err := parseSaveKind(d.Save)
+			if err != nil {
+				return nil, err
+			}
+			frac, err := activeFraction(d)
+			if err != nil {
+				return nil, err
+			}
+			return technique.ThrottleThenSave{PState: p, Save: save, ActiveFraction: frac}, nil
+		},
+	},
+	"migration-then-sleep": {
+		params: []string{"active_fraction"},
+		doc:    "consolidate, serve for a fraction of the outage, then sleep the survivors",
+		build: func(_ int, d TechniqueDTO) (technique.Technique, error) {
+			frac, err := activeFraction(d)
+			if err != nil {
+				return nil, err
+			}
+			return technique.MigrationThenSleep{ActiveFraction: frac}, nil
+		},
+	},
+	"nvdimm": {
+		doc: "persist state with no backup power at all (Section 7)",
+		build: func(_ int, _ TechniqueDTO) (technique.Technique, error) {
+			return technique.NVDIMM{}, nil
+		},
+	},
+	"nvdimm-throttle": {
+		params: []string{"pstate"},
+		doc:    "serve throttled with crash-safe NVDIMM state (Section 7)",
+		build: func(deepest int, d TechniqueDTO) (technique.Technique, error) {
+			p, err := requirePState(deepest, d)
+			if err != nil {
+				return nil, err
+			}
+			return technique.NVDIMMThrottle{PState: p}, nil
+		},
+	},
+	"barely-alive": {
+		doc: "sleep while serving reads over RDMA (Section 7)",
+		build: func(_ int, _ TechniqueDTO) (technique.Technique, error) {
+			return technique.BarelyAlive{}, nil
+		},
+	},
+	"geo-failover": {
+		params: []string{"save"},
+		doc:    "redirect load to a geo-replicated site, then save locally (Section 7)",
+		build: func(_ int, d TechniqueDTO) (technique.Technique, error) {
+			g := technique.GeoFailover{}
+			if d.Save != "" {
+				save, err := parseSaveKind(d.Save)
+				if err != nil {
+					return nil, err
+				}
+				g.Save = save
+			}
+			return g, nil
+		},
+	},
+}
+
+func requirePState(deepest int, d TechniqueDTO) (int, error) {
+	if d.PState == nil {
+		return 0, fieldErrf("missing_field", "technique.pstate",
+			"pstate is required (1..%d)", deepest)
+	}
+	p := *d.PState
+	if p < 1 || p > deepest {
+		return 0, fieldErrf("out_of_range", "technique.pstate",
+			"pstate %d out of [1, %d]", p, deepest)
+	}
+	return p, nil
+}
+
+func parseSaveKind(s string) (technique.SaveKind, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return 0, fieldErrf("missing_field", "technique.save", `save is required ("sleep" or "hibernate")`)
+	case "sleep":
+		return technique.SaveSleep, nil
+	case "hibernate":
+		return technique.SaveHibernate, nil
+	default:
+		return 0, fieldErrf("invalid_field", "technique.save", `save %q must be "sleep" or "hibernate"`, s)
+	}
+}
+
+func activeFraction(d TechniqueDTO) (float64, error) {
+	if d.ActiveFraction == nil {
+		return 1.0, nil
+	}
+	f := *d.ActiveFraction
+	if !(f > 0 && f <= 1) {
+		return 0, fieldErrf("out_of_range", "technique.active_fraction",
+			"active_fraction %v out of (0, 1]", f)
+	}
+	return f, nil
+}
+
+// ResolveTechnique maps a TechniqueDTO to a concrete technique,
+// validating that every supplied parameter applies to the named family.
+// deepestPState is the environment's deepest DVFS P-state index.
+func ResolveTechnique(d TechniqueDTO, deepestPState int) (technique.Technique, error) {
+	if d.Name == "" {
+		return nil, fieldErrf("missing_field", "technique.name", "technique name is required")
+	}
+	name := strings.ToLower(strings.ReplaceAll(d.Name, "_", "-"))
+	spec, ok := techniqueSpecs[name]
+	if !ok {
+		return nil, fieldErrf("unknown_technique", "technique.name",
+			"unknown technique %q (known: %s)", d.Name, strings.Join(TechniqueNames(), ", "))
+	}
+	for _, p := range d.params() {
+		if p.set && !has(spec.params, p.name) {
+			return nil, fieldErrf("invalid_field", "technique."+p.name,
+				"%s does not apply to technique %q", p.name, name)
+		}
+	}
+	return spec.build(deepestPState, d)
+}
+
+// TechniqueNames returns the supported wire names sorted for stable
+// listings and error messages.
+func TechniqueNames() []string {
+	names := make([]string, 0, len(techniqueSpecs))
+	for n := range techniqueSpecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TechniqueDoc describes one wire-exposed technique for catalog
+// endpoints (GET /v1/techniques, gridrun -list-techniques).
+type TechniqueDoc struct {
+	Name   string
+	Params []string
+	Doc    string
+}
+
+// TechniqueDocs returns the technique catalog sorted by name.
+func TechniqueDocs() []TechniqueDoc {
+	docs := make([]TechniqueDoc, 0, len(techniqueSpecs))
+	for _, name := range TechniqueNames() {
+		s := techniqueSpecs[name]
+		docs = append(docs, TechniqueDoc{Name: name, Params: s.params, Doc: s.doc})
+	}
+	return docs
+}

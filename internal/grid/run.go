@@ -1,0 +1,167 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"backuppower/internal/cluster"
+	"backuppower/internal/core"
+	"backuppower/internal/sweep"
+	"backuppower/internal/technique"
+)
+
+// DefaultShardSize is the number of rows evaluated (in parallel) per
+// emitted shard when RunOptions does not say otherwise. Shards batch
+// emission only — they never change row values or order — so the size is
+// purely a latency/throughput knob for streaming consumers.
+const DefaultShardSize = 64
+
+// Runner executes compiled plans against a framework, instantiating
+// sibling frameworks for cluster sizes the base does not cover (same
+// battery chemistry, testbed scaled to the row's server count). All rows
+// evaluate through core's process-global scenario memo cache, so a grid
+// that revisits a scenario — or two grids that overlap — simulate it once.
+type Runner struct {
+	base *core.Framework
+
+	mu      sync.Mutex
+	derived map[int]*core.Framework
+}
+
+// NewRunner returns a runner over the given base framework.
+func NewRunner(base *core.Framework) *Runner {
+	return &Runner{base: base, derived: map[int]*core.Framework{}}
+}
+
+// framework returns the framework for an n-server row: the base when it
+// already has that scale, else a memoized sibling sharing its battery.
+func (r *Runner) framework(n int) *core.Framework {
+	if r.base.Env.Servers == n {
+		return r.base
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.derived[n]; ok {
+		return f
+	}
+	f := &core.Framework{Env: technique.DefaultEnv(n), Battery: r.base.Battery}
+	r.derived[n] = f
+	return f
+}
+
+// RowResult is one evaluated plan row. Exactly one payload group is
+// meaningful, selected by the plan's op: evaluate fills Result; size
+// fills Feasible and (when feasible) Sizing; best fills Best and Result.
+// Err records a row-level evaluation failure (the sweep continues);
+// cancellation and deadline expiry abort the whole run instead.
+type RowResult struct {
+	Point    Point
+	Result   cluster.Result
+	Feasible bool
+	Sizing   core.OperatingPoint
+	Best     string
+	Err      error
+}
+
+// Progress reports shard completion during a streaming run.
+type Progress struct {
+	Shard    int // shards completed so far
+	Shards   int // total shards in the plan
+	RowsDone int // rows completed so far
+	Rows     int // total rows in the plan
+}
+
+// RunOptions parameterize a run.
+type RunOptions struct {
+	// ShardSize is the emission batch size (default DefaultShardSize).
+	// Any value yields identical rows in identical order.
+	ShardSize int
+
+	// Progress, when set, is called after each shard completes, from the
+	// emitting goroutine, before the shard's rows are emitted.
+	Progress func(Progress)
+}
+
+// RunStream evaluates the plan's rows in order, fanning each shard out
+// through the sweep engine (pool width from sweep.WithWidth on ctx), and
+// calls emit for every row as its shard completes. Rows and their order
+// are invariant under pool width and shard size. An emit error or a
+// context cancellation/deadline stops the remaining shards; row-level
+// evaluation failures are reported in RowResult.Err and do not stop the
+// sweep.
+func (r *Runner) RunStream(ctx context.Context, plan *Plan, opts RunOptions, emit func(RowResult) error) error {
+	size := opts.ShardSize
+	if size <= 0 {
+		size = DefaultShardSize
+	}
+	shards := 0
+	if n := len(plan.Points); n > 0 {
+		if size > n {
+			size = n
+		}
+		shards = (n + size - 1) / size
+	}
+	done := 0
+	return sweep.MapChunked(ctx, plan.Points, size,
+		func(ctx context.Context, p Point) (RowResult, error) {
+			return r.evalPoint(ctx, plan.Op, p)
+		},
+		func(start int, rows []RowResult) error {
+			done++
+			if opts.Progress != nil {
+				opts.Progress(Progress{
+					Shard:    done,
+					Shards:   shards,
+					RowsDone: start + len(rows),
+					Rows:     len(plan.Points),
+				})
+			}
+			for _, row := range rows {
+				if err := emit(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+}
+
+// Run is RunStream collecting every row.
+func (r *Runner) Run(ctx context.Context, plan *Plan, opts RunOptions) ([]RowResult, error) {
+	rows := make([]RowResult, 0, len(plan.Points))
+	err := r.RunStream(ctx, plan, opts, func(row RowResult) error {
+		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// evalPoint dispatches one row to its framework call. Context errors
+// propagate (aborting the run); anything else becomes a row-level Err.
+func (r *Runner) evalPoint(ctx context.Context, op string, p Point) (RowResult, error) {
+	fw := r.framework(p.Servers)
+	row := RowResult{Point: p}
+	var err error
+	switch op {
+	case OpSize:
+		row.Sizing, row.Feasible, err = fw.MinCostUPSCtx(ctx, p.Technique, p.Workload, p.Outage)
+	case OpBest:
+		var tech technique.Technique
+		row.Result, tech, err = fw.BestForConfigCtx(ctx, p.Config, p.Workload, p.Outage)
+		if tech != nil {
+			row.Best = tech.Name()
+		}
+	default: // OpEvaluate
+		row.Result, err = fw.EvaluateCtx(ctx, p.Config, p.Technique, p.Workload, p.Outage)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return RowResult{}, err
+		}
+		row.Err = err
+	}
+	return row, nil
+}

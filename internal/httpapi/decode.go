@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"time"
 
 	"backuppower/internal/cost"
+	"backuppower/internal/grid"
 	"backuppower/internal/technique"
 	"backuppower/internal/units"
 	"backuppower/internal/workload"
@@ -33,6 +33,18 @@ func (e *apiError) Error() string {
 
 func badRequest(code, field, format string, args ...any) *apiError {
 	return &apiError{status: 400, code: code, field: field, message: fmt.Sprintf(format, args...)}
+}
+
+// asAPIError maps a grid resolver rejection (a typed *grid.FieldError) to
+// its 400 response, passing every other error through unchanged. The
+// resolvers themselves live in internal/grid so the HTTP surface, the
+// sweep subsystem, and cmd/gridrun share one set of codes and rules.
+func asAPIError(err error) error {
+	var fe *grid.FieldError
+	if errors.As(err, &fe) {
+		return badRequest(fe.Code, fe.Field, "%s", fe.Message)
+	}
+	return err
 }
 
 // decodeStrict decodes one JSON document into v, rejecting unknown
@@ -71,18 +83,9 @@ func DecodeEvaluateRequest(r io.Reader) (EvaluateRequest, error) {
 // parseOutage validates the shared outage field: parseable, positive,
 // and inside the framework's accepted band.
 func parseOutage(s string) (time.Duration, error) {
-	if s == "" {
-		return 0, badRequest("missing_field", "outage", "outage duration is required")
-	}
-	d, err := units.ParseDuration(s)
+	d, err := grid.ParseOutage(s)
 	if err != nil {
-		return 0, badRequest("invalid_duration", "outage", "%v", err)
-	}
-	if d <= 0 {
-		return 0, badRequest("out_of_range", "outage", "outage %v must be positive", d)
-	}
-	if d > maxOutage {
-		return 0, badRequest("out_of_range", "outage", "outage %v exceeds the %v maximum", d, maxOutage)
+		return 0, asAPIError(err)
 	}
 	return d, nil
 }
@@ -112,323 +115,36 @@ func parseWidth(w int) error {
 
 // resolveWorkload maps a workload name to its calibrated spec.
 func resolveWorkload(name string) (workload.Spec, error) {
-	if name == "" {
-		return workload.Spec{}, badRequest("missing_field", "workload", "workload name is required")
+	w, err := grid.ResolveWorkload(name)
+	if err != nil {
+		return workload.Spec{}, asAPIError(err)
 	}
-	if w, ok := workload.ByName(name); ok {
-		return w, nil
-	}
-	var known []string
-	for _, w := range workload.All() {
-		known = append(known, w.Name)
-	}
-	return workload.Spec{}, badRequest("unknown_workload", "workload",
-		"unknown workload %q (known: %s)", name, strings.Join(known, ", "))
+	return w, nil
 }
 
 // resolveConfig maps a ConfigDTO to a concrete backup configuration.
 // peak is the serving datacenter's peak power, which scales the named
 // Table 3 configurations.
 func resolveConfig(d ConfigDTO, peak units.Watts) (cost.Backup, error) {
-	custom := d.DGPower != "" || d.UPSPower != "" || d.UPSRuntime != ""
-	if d.Name != "" && !custom {
-		for _, b := range cost.Table3(peak) {
-			if strings.EqualFold(b.Name, d.Name) {
-				return b, nil
-			}
-		}
-		var known []string
-		for _, b := range cost.Table3(peak) {
-			known = append(known, b.Name)
-		}
-		return cost.Backup{}, badRequest("unknown_config", "config.name",
-			"unknown configuration %q (known: %s; or give dg_power/ups_power/ups_runtime)",
-			d.Name, strings.Join(known, ", "))
+	b, err := grid.ResolveConfig(d, peak)
+	if err != nil {
+		return cost.Backup{}, asAPIError(err)
 	}
-	if d.Name != "" && custom {
-		return cost.Backup{}, badRequest("invalid_config", "config",
-			"give either a named configuration or custom capacities, not both")
-	}
-	if !custom {
-		return cost.Backup{}, badRequest("missing_field", "config",
-			"configuration is required: a Table 3 name or dg_power/ups_power/ups_runtime")
-	}
-	var dg, upsP units.Watts
-	var upsRT time.Duration
-	var err error
-	if d.DGPower != "" {
-		if dg, err = units.ParsePower(d.DGPower); err != nil {
-			return cost.Backup{}, badRequest("invalid_power", "config.dg_power", "%v", err)
-		}
-	}
-	if d.UPSPower != "" {
-		if upsP, err = units.ParsePower(d.UPSPower); err != nil {
-			return cost.Backup{}, badRequest("invalid_power", "config.ups_power", "%v", err)
-		}
-	}
-	if d.UPSRuntime != "" {
-		if upsRT, err = units.ParseDuration(d.UPSRuntime); err != nil {
-			return cost.Backup{}, badRequest("invalid_duration", "config.ups_runtime", "%v", err)
-		}
-		if upsRT < 0 {
-			return cost.Backup{}, badRequest("out_of_range", "config.ups_runtime", "runtime %v must be non-negative", upsRT)
-		}
-		if upsP == 0 {
-			return cost.Backup{}, badRequest("invalid_config", "config.ups_runtime", "ups_runtime without ups_power")
-		}
-	}
-	// Sanity bound: a configuration larger than 100x the datacenter peak
-	// is a unit mistake, not a design point.
-	if limit := peak * 100; dg > limit || upsP > limit {
-		return cost.Backup{}, badRequest("out_of_range", "config",
-			"capacity exceeds 100x the datacenter peak (%v)", peak)
-	}
-	b := cost.Custom("custom", dg, upsP, upsRT)
 	return b, nil
 }
 
-// techniqueParam records one settable TechniqueDTO parameter for the
-// applicability check.
-type techniqueParam struct {
-	name string
-	set  bool
-}
-
-func (d TechniqueDTO) params() []techniqueParam {
-	return []techniqueParam{
-		{"pstate", d.PState != nil},
-		{"low_power", d.LowPower != nil},
-		{"proactive", d.Proactive != nil},
-		{"throttle_deep", d.ThrottleDeep != nil},
-		{"save", d.Save != ""},
-		{"active_fraction", d.ActiveFraction != nil},
-		{"budget", d.Budget != ""},
-	}
-}
-
-// techniqueSpec describes one supported technique family: which params
-// apply and how to build the concrete instance.
-type techniqueSpec struct {
-	params []string
-	doc    string
-	build  func(s *serverDeps, d TechniqueDTO) (technique.Technique, error)
-}
-
-// serverDeps carries the environment facts technique validation needs.
+// serverDeps carries the environment facts request validation needs.
 type serverDeps struct {
 	deepestPState int
 	peak          units.Watts
 }
 
-func has(params []string, name string) bool {
-	for _, p := range params {
-		if p == name {
-			return true
-		}
-	}
-	return false
-}
-
-// techniqueSpecs is the registry of wire-exposed techniques, keyed by
-// normalized name.
-var techniqueSpecs = map[string]techniqueSpec{
-	"baseline": {
-		doc: "full service until the backup dies (MaxPerf/MinCost behavior)",
-		build: func(_ *serverDeps, _ TechniqueDTO) (technique.Technique, error) {
-			return technique.Baseline{}, nil
-		},
-	},
-	"throttling": {
-		params: []string{"pstate"},
-		doc:    "run in a reduced DVFS P-state (pstate 1 = lightest, deepest = slowest)",
-		build: func(s *serverDeps, d TechniqueDTO) (technique.Technique, error) {
-			p, err := requirePState(s, d)
-			if err != nil {
-				return nil, err
-			}
-			return technique.Throttling{PState: p}, nil
-		},
-	},
-	"capped-throttling": {
-		params: []string{"budget"},
-		doc:    "budget-driven capping: the fastest P/T state fitting under a power budget",
-		build: func(s *serverDeps, d TechniqueDTO) (technique.Technique, error) {
-			if d.Budget == "" {
-				return nil, badRequest("missing_field", "technique.budget", "capped-throttling needs a power budget")
-			}
-			w, err := units.ParsePower(d.Budget)
-			if err != nil {
-				return nil, badRequest("invalid_power", "technique.budget", "%v", err)
-			}
-			if w <= 0 {
-				return nil, badRequest("out_of_range", "technique.budget", "budget must be positive")
-			}
-			return technique.CappedThrottling{Budget: w}, nil
-		},
-	},
-	"migration": {
-		params: []string{"proactive", "throttle_deep"},
-		doc:    "consolidate onto fewer servers via live migration",
-		build: func(_ *serverDeps, d TechniqueDTO) (technique.Technique, error) {
-			return technique.Migration{
-				Proactive:    d.Proactive != nil && *d.Proactive,
-				ThrottleDeep: d.ThrottleDeep != nil && *d.ThrottleDeep,
-			}, nil
-		},
-	},
-	"sleep": {
-		params: []string{"low_power"},
-		doc:    "suspend to RAM (S3); low_power throttles during the transition",
-		build: func(_ *serverDeps, d TechniqueDTO) (technique.Technique, error) {
-			return technique.Sleep{LowPower: d.LowPower != nil && *d.LowPower}, nil
-		},
-	},
-	"hibernate": {
-		params: []string{"low_power", "proactive"},
-		doc:    "suspend to disk (S4); proactive pre-flushes dirty state",
-		build: func(_ *serverDeps, d TechniqueDTO) (technique.Technique, error) {
-			return technique.Hibernate{
-				LowPower:  d.LowPower != nil && *d.LowPower,
-				Proactive: d.Proactive != nil && *d.Proactive,
-			}, nil
-		},
-	},
-	"throttle-then-save": {
-		params: []string{"pstate", "save", "active_fraction"},
-		doc:    "serve throttled for a fraction of the outage, then save state",
-		build: func(s *serverDeps, d TechniqueDTO) (technique.Technique, error) {
-			p, err := requirePState(s, d)
-			if err != nil {
-				return nil, err
-			}
-			save, err := parseSaveKind(d.Save)
-			if err != nil {
-				return nil, err
-			}
-			frac, err := activeFraction(d)
-			if err != nil {
-				return nil, err
-			}
-			return technique.ThrottleThenSave{PState: p, Save: save, ActiveFraction: frac}, nil
-		},
-	},
-	"migration-then-sleep": {
-		params: []string{"active_fraction"},
-		doc:    "consolidate, serve for a fraction of the outage, then sleep the survivors",
-		build: func(_ *serverDeps, d TechniqueDTO) (technique.Technique, error) {
-			frac, err := activeFraction(d)
-			if err != nil {
-				return nil, err
-			}
-			return technique.MigrationThenSleep{ActiveFraction: frac}, nil
-		},
-	},
-	"nvdimm": {
-		doc: "persist state with no backup power at all (Section 7)",
-		build: func(_ *serverDeps, _ TechniqueDTO) (technique.Technique, error) {
-			return technique.NVDIMM{}, nil
-		},
-	},
-	"nvdimm-throttle": {
-		params: []string{"pstate"},
-		doc:    "serve throttled with crash-safe NVDIMM state (Section 7)",
-		build: func(s *serverDeps, d TechniqueDTO) (technique.Technique, error) {
-			p, err := requirePState(s, d)
-			if err != nil {
-				return nil, err
-			}
-			return technique.NVDIMMThrottle{PState: p}, nil
-		},
-	},
-	"barely-alive": {
-		doc: "sleep while serving reads over RDMA (Section 7)",
-		build: func(_ *serverDeps, _ TechniqueDTO) (technique.Technique, error) {
-			return technique.BarelyAlive{}, nil
-		},
-	},
-	"geo-failover": {
-		params: []string{"save"},
-		doc:    "redirect load to a geo-replicated site, then save locally (Section 7)",
-		build: func(_ *serverDeps, d TechniqueDTO) (technique.Technique, error) {
-			g := technique.GeoFailover{}
-			if d.Save != "" {
-				save, err := parseSaveKind(d.Save)
-				if err != nil {
-					return nil, err
-				}
-				g.Save = save
-			}
-			return g, nil
-		},
-	},
-}
-
-func requirePState(s *serverDeps, d TechniqueDTO) (int, error) {
-	if d.PState == nil {
-		return 0, badRequest("missing_field", "technique.pstate",
-			"pstate is required (1..%d)", s.deepestPState)
-	}
-	p := *d.PState
-	if p < 1 || p > s.deepestPState {
-		return 0, badRequest("out_of_range", "technique.pstate",
-			"pstate %d out of [1, %d]", p, s.deepestPState)
-	}
-	return p, nil
-}
-
-func parseSaveKind(s string) (technique.SaveKind, error) {
-	switch strings.ToLower(s) {
-	case "":
-		return 0, badRequest("missing_field", "technique.save", `save is required ("sleep" or "hibernate")`)
-	case "sleep":
-		return technique.SaveSleep, nil
-	case "hibernate":
-		return technique.SaveHibernate, nil
-	default:
-		return 0, badRequest("invalid_field", "technique.save", `save %q must be "sleep" or "hibernate"`, s)
-	}
-}
-
-func activeFraction(d TechniqueDTO) (float64, error) {
-	if d.ActiveFraction == nil {
-		return 1.0, nil
-	}
-	f := *d.ActiveFraction
-	if !(f > 0 && f <= 1) {
-		return 0, badRequest("out_of_range", "technique.active_fraction",
-			"active_fraction %v out of (0, 1]", f)
-	}
-	return f, nil
-}
-
 // resolveTechnique maps a TechniqueDTO to a concrete technique,
 // validating that every supplied parameter applies to the named family.
 func resolveTechnique(d TechniqueDTO, deps *serverDeps) (technique.Technique, error) {
-	if d.Name == "" {
-		return nil, badRequest("missing_field", "technique.name", "technique name is required")
+	t, err := grid.ResolveTechnique(d, deps.deepestPState)
+	if err != nil {
+		return nil, asAPIError(err)
 	}
-	name := strings.ToLower(strings.ReplaceAll(d.Name, "_", "-"))
-	spec, ok := techniqueSpecs[name]
-	if !ok {
-		return nil, badRequest("unknown_technique", "technique.name",
-			"unknown technique %q (known: %s)", d.Name, strings.Join(techniqueNames(), ", "))
-	}
-	for _, p := range d.params() {
-		if p.set && !has(spec.params, p.name) {
-			return nil, badRequest("invalid_field", "technique."+p.name,
-				"%s does not apply to technique %q", p.name, name)
-		}
-	}
-	return spec.build(deps, d)
-}
-
-// techniqueNames returns the supported names sorted for stable listings
-// and error messages.
-func techniqueNames() []string {
-	names := make([]string, 0, len(techniqueSpecs))
-	for n := range techniqueSpecs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return t, nil
 }

@@ -1,11 +1,10 @@
 package httpapi
 
 import (
-	"time"
-
 	"backuppower/internal/cluster"
 	"backuppower/internal/core"
 	"backuppower/internal/cost"
+	"backuppower/internal/grid"
 )
 
 // The wire types. Requests carry quantities as human strings ("120kW",
@@ -14,30 +13,13 @@ import (
 // with the unit in the field name, so every field is self-describing and
 // the encoding is deterministic (the golden tests pin it byte-for-byte).
 
-// ConfigDTO selects a backup configuration: either a Table 3 name
-// ("MaxPerf", "NoDG", "LargeEUPS", ... — scaled to the serving
-// framework's peak power), or a custom configuration from explicit
-// capacities. Exactly one of the two forms must be used.
-type ConfigDTO struct {
-	Name       string `json:"name,omitempty"`
-	DGPower    string `json:"dg_power,omitempty"`
-	UPSPower   string `json:"ups_power,omitempty"`
-	UPSRuntime string `json:"ups_runtime,omitempty"`
-}
-
-// TechniqueDTO selects an outage-handling technique by family name plus
-// the family's parameters. Parameters that do not apply to the named
-// family are rejected, not ignored.
-type TechniqueDTO struct {
-	Name           string   `json:"name"`
-	PState         *int     `json:"pstate,omitempty"`
-	LowPower       *bool    `json:"low_power,omitempty"`
-	Proactive      *bool    `json:"proactive,omitempty"`
-	ThrottleDeep   *bool    `json:"throttle_deep,omitempty"`
-	Save           string   `json:"save,omitempty"`
-	ActiveFraction *float64 `json:"active_fraction,omitempty"`
-	Budget         string   `json:"budget,omitempty"`
-}
+// ConfigDTO and TechniqueDTO are the shared axis-element types from
+// internal/grid — the single place their JSON shapes and validation rules
+// live. The aliases keep this package's wire surface self-contained.
+type (
+	ConfigDTO    = grid.ConfigDTO
+	TechniqueDTO = grid.TechniqueDTO
+)
 
 // EvaluateRequest is the body of POST /v1/evaluate: one scenario point.
 type EvaluateRequest struct {
@@ -73,66 +55,16 @@ type BestRequest struct {
 	Timeout  string    `json:"timeout,omitempty"`
 }
 
-// ResultDTO mirrors cluster.Result without the trace pointers.
-type ResultDTO struct {
-	Technique       string  `json:"technique"`
-	Config          string  `json:"config"`
-	Workload        string  `json:"workload"`
-	Outage          string  `json:"outage"`
-	Survived        bool    `json:"survived"`
-	CrashedAt       string  `json:"crashed_at,omitempty"`
-	Perf            float64 `json:"perf"`
-	Downtime        string  `json:"downtime"`
-	DowntimeMin     string  `json:"downtime_min"`
-	DowntimeMax     string  `json:"downtime_max"`
-	PeakUPSDrawW    float64 `json:"peak_ups_draw_w"`
-	PeakBackupDrawW float64 `json:"peak_backup_draw_w"`
-	UPSEnergyWh     float64 `json:"ups_energy_wh"`
-	UPSRemaining    float64 `json:"ups_remaining"`
-	NormCost        float64 `json:"norm_cost"`
-}
+// ResultDTO and BackupDTO are likewise shared with internal/grid, which
+// streams the same shapes as NDJSON sweep rows.
+type (
+	ResultDTO = grid.ResultDTO
+	BackupDTO = grid.BackupDTO
+)
 
-func resultDTO(r cluster.Result) ResultDTO {
-	d := ResultDTO{
-		Technique:       r.Technique,
-		Config:          r.Config,
-		Workload:        r.Workload,
-		Outage:          r.Outage.String(),
-		Survived:        r.Survived,
-		Perf:            r.Perf,
-		Downtime:        r.Downtime.String(),
-		DowntimeMin:     r.DowntimeMin.String(),
-		DowntimeMax:     r.DowntimeMax.String(),
-		PeakUPSDrawW:    float64(r.PeakUPSDraw),
-		PeakBackupDrawW: float64(r.PeakBackupDraw),
-		UPSEnergyWh:     float64(r.UPSEnergy),
-		UPSRemaining:    r.UPSRemaining,
-		NormCost:        r.Cost,
-	}
-	if !r.Survived {
-		d.CrashedAt = r.CrashedAt.String()
-	}
-	return d
-}
+func resultDTO(r cluster.Result) ResultDTO { return grid.NewResultDTO(r) }
 
-// BackupDTO describes a concrete backup configuration in a response.
-type BackupDTO struct {
-	Name              string  `json:"name"`
-	DGPowerW          float64 `json:"dg_power_w"`
-	UPSPowerW         float64 `json:"ups_power_w"`
-	UPSRuntime        string  `json:"ups_runtime"`
-	AnnualCostDollars float64 `json:"annual_cost_dollars_per_year"`
-}
-
-func backupDTO(b cost.Backup) BackupDTO {
-	return BackupDTO{
-		Name:              b.Name,
-		DGPowerW:          float64(b.DG.PowerCapacity),
-		UPSPowerW:         float64(b.UPS.PowerCapacity),
-		UPSRuntime:        b.UPS.Runtime.String(),
-		AnnualCostDollars: float64(b.AnnualCost()),
-	}
-}
+func backupDTO(b cost.Backup) BackupDTO { return grid.NewBackupDTO(b) }
 
 // EvaluateResponse is the body of a successful POST /v1/evaluate.
 type EvaluateResponse struct {
@@ -211,6 +143,3 @@ type ErrorDetail struct {
 	Field   string `json:"field,omitempty"`
 	Message string `json:"message"`
 }
-
-// outage bounds shared by the request validators.
-const maxOutage = time.Duration(core.MaxOutage)

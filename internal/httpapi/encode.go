@@ -34,6 +34,12 @@ func writeError(w http.ResponseWriter, err error) {
 	}})
 }
 
+// writeNDJSONLine encodes one value as a single NDJSON line of a
+// streaming response (json.Encoder appends the newline).
+func writeNDJSONLine(w http.ResponseWriter, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
 // writeSaturated is the 429 path: every in-flight evaluation slot is
 // taken. Retry-After is a hint; evaluations are fast, so one second is
 // generous.

@@ -3,10 +3,13 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 	"unicode/utf8"
+
+	"backuppower/internal/grid"
 )
 
 // FuzzDecodeEvaluateRequest pins two properties of the strict request
@@ -55,6 +58,100 @@ func FuzzDecodeEvaluateRequest(f *testing.F) {
 		}
 		if !reflect.DeepEqual(req, again) {
 			t.Fatalf("round trip changed the request:\nfirst:  %+v\nsecond: %+v", req, again)
+		}
+	})
+}
+
+// sweepRequestStrings flattens every string field of a decoded sweep
+// request, so the fuzz round-trip can skip payloads whose raw bytes
+// json.Marshal would rewrite (invalid UTF-8 becomes U+FFFD).
+func sweepRequestStrings(req SweepRequest) []string {
+	out := []string{req.Spec.Op, req.Timeout}
+	out = append(out, req.Spec.Workloads...)
+	out = append(out, req.Spec.Outages...)
+	for _, c := range req.Spec.Configs {
+		out = append(out, c.Name, c.DGPower, c.UPSPower, c.UPSRuntime)
+	}
+	for _, d := range req.Spec.Techniques {
+		out = append(out, d.Name, d.Save, d.Budget)
+	}
+	if f := req.Spec.Filter; f != nil {
+		out = append(out, f.MinOutage, f.MaxOutage)
+	}
+	return out
+}
+
+// FuzzDecodeSweepRequest pins the sweep endpoint's wire layer and the
+// grid compiler behind it: no byte sequence panics the decoder, any
+// accepted body round-trips unchanged, and compiling whatever the wire
+// let through under a tight row bound either yields a small plan or a
+// typed *grid.FieldError — never a panic and never an unbounded
+// materialization (oversize cross-products are rejected from the axis
+// lengths alone).
+func FuzzDecodeSweepRequest(f *testing.F) {
+	f.Add(`{"spec":{"workloads":["specjbb"],"configs":[{"name":"MaxPerf"}],` +
+		`"techniques":[{"name":"baseline"}],"outages":["30s","5m"]}}`)
+	f.Add(`{"spec":{"op":"size","workloads":["memcached","web-search"],"technique_variants":true,` +
+		`"outages":["30m"]},"width":4,"timeout":"20s","shard_size":8}`)
+	f.Add(`{"spec":{"op":"best","workloads":["specjbb"],"configs":[{"name":"NoDG"},` +
+		`{"dg_power":"180kW","ups_power":"13kW","ups_runtime":"5m"}],"outages":["30s","2h"],` +
+		`"filter":{"min_outage":"1m","sample_every":2}}}`)
+	f.Add(`{"spec":{"workloads":["specjbb","memcached"],"configs":[{"name":"MaxPerf"}],` +
+		`"techniques":[{"name":"throttling","pstate":3}],"outages":["30s","5m"],"zip":true}}`)
+	f.Add(`{"spec":{"workloads":["a","a","a","a","a","a","a","a","a","a"],` +
+		`"outages":["1s","1s","1s","1s","1s","1s","1s","1s","1s","1s"],"technique_variants":true,` +
+		`"configs":[{},{},{},{},{},{},{},{},{},{}],"servers":[1,2,3,4,5,6,7,8,9,10]}}`)
+	f.Add(`{"spec":{"max_rows":-1}}`)
+	f.Add(`{"spec":{}}`)
+	f.Add(`{"spec":{"op":"evaluate"},"shard_size":-3}`)
+	f.Add(`{"spec":`)
+	f.Add(`{"spec":{}} trailing`)
+	f.Add(`{"spec":{"unknown":true}}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeSweepRequest(strings.NewReader(body))
+		if err != nil {
+			return // rejection is fine; not panicking is the property
+		}
+		valid := true
+		for _, s := range sweepRequestStrings(req) {
+			if !utf8.ValidString(s) {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			enc, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("accepted request failed to re-encode: %v", err)
+			}
+			again, err := DecodeSweepRequest(bytes.NewReader(enc))
+			if err != nil {
+				t.Fatalf("re-encoded request %s rejected: %v", enc, err)
+			}
+			// Spec axes carry omitempty, so an explicitly-empty axis
+			// re-encodes as absent (nil vs []). Compare the canonical
+			// wire forms, which is the property the handler relies on.
+			enc2, err := json.Marshal(again)
+			if err != nil {
+				t.Fatalf("re-decoded request failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("round trip changed the request:\nfirst:  %s\nsecond: %s", enc, enc2)
+			}
+		}
+
+		const maxRows = 64
+		plan, err := grid.Compile(req.Spec, grid.CompileOptions{DefaultServers: 4, MaxRows: maxRows})
+		if err != nil {
+			var fe *grid.FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("Compile returned an untyped error: %v", err)
+			}
+			return
+		}
+		if len(plan.Points) > maxRows {
+			t.Fatalf("plan exceeded the row bound: %d > %d", len(plan.Points), maxRows)
 		}
 	})
 }

@@ -5,6 +5,7 @@
 //	POST /v1/evaluate   one scenario: config x technique x workload x outage
 //	POST /v1/size       min-cost UPS sizing for a technique (MinCostUPSCtx)
 //	POST /v1/best       best technique behind a fixed config (BestForConfigCtx)
+//	POST /v1/sweep      declarative grid spec -> streamed NDJSON rows (internal/grid)
 //	GET  /v1/techniques registry of wire-exposed techniques and families
 //	GET  /v1/workloads  registry of calibrated workloads
 //	GET  /healthz       liveness
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"backuppower/internal/core"
+	"backuppower/internal/grid"
 	"backuppower/internal/sweep"
 )
 
@@ -54,6 +56,11 @@ type Config struct {
 
 	// MaxBodyBytes caps request body size. Default 1 MiB.
 	MaxBodyBytes int64
+
+	// MaxSweepRows caps how many rows one /v1/sweep grid may expand to
+	// (before filtering). Default grid.DefaultMaxRows; a request's own
+	// max_rows can tighten but never exceed it.
+	MaxSweepRows int
 }
 
 // Server is the HTTP serving surface over one shared framework.
@@ -64,6 +71,7 @@ type Server struct {
 	metrics *metrics
 	handler http.Handler
 	deps    serverDeps
+	runner  *grid.Runner
 
 	// testHookEvalStarted, when set, runs after an evaluation slot is
 	// acquired and before the evaluation itself — the seam the
@@ -94,12 +102,14 @@ func New(cfg Config) (*Server, error) {
 			deepestPState: len(cfg.Framework.Env.Server.PStates) - 1,
 			peak:          cfg.Framework.Env.PeakPower(),
 		},
+		runner: grid.NewRunner(cfg.Framework),
 	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", s.route("/v1/evaluate", s.handleEvaluate))
 	mux.HandleFunc("POST /v1/size", s.route("/v1/size", s.handleSize))
 	mux.HandleFunc("POST /v1/best", s.route("/v1/best", s.handleBest))
+	mux.HandleFunc("POST /v1/sweep", s.route("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("GET /v1/techniques", s.route("/v1/techniques", s.handleTechniques))
 	mux.HandleFunc("GET /v1/workloads", s.route("/v1/workloads", s.handleWorkloads))
 	mux.HandleFunc("GET /healthz", s.route("/healthz", s.handleHealthz))
@@ -378,12 +388,11 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTechniques(w http.ResponseWriter, _ *http.Request) {
 	resp := TechniquesResponse{Families: core.Families()}
-	for _, name := range techniqueNames() {
-		spec := techniqueSpecs[name]
+	for _, doc := range grid.TechniqueDocs() {
 		resp.Techniques = append(resp.Techniques, TechniqueInfo{
-			Name:   name,
-			Params: spec.params,
-			Doc:    spec.doc,
+			Name:   doc.Name,
+			Params: doc.Params,
+			Doc:    doc.Doc,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -33,6 +33,16 @@ func TestConcurrentRequestsDeterministic(t *testing.T) {
 		{"/v1/size", `{"technique":{"name":"sleep","low_power":true},"workload":"specjbb","outage":"30m"}`},
 		{"/v1/size", `{"technique":{"name":"hibernate","proactive":true},"workload":"web-search","outage":"4h","width":3}`},
 		{"/v1/best", `{"config":{"name":"MinCost"},"workload":"memcached","outage":"30m"}`},
+		// Streaming sweeps at mixed widths and shard sizes: NDJSON bodies
+		// must byte-match the serial baseline however requests interleave.
+		{"/v1/sweep", `{"spec":{"workloads":["specjbb"],"configs":[{"name":"MaxPerf"},{"name":"LargeEUPS"}],` +
+			`"techniques":[{"name":"baseline"},{"name":"sleep","low_power":true}],"outages":["30s","30m"]}}`},
+		{"/v1/sweep", `{"spec":{"workloads":["specjbb"],"configs":[{"name":"MaxPerf"},{"name":"LargeEUPS"}],` +
+			`"techniques":[{"name":"baseline"},{"name":"sleep","low_power":true}],"outages":["30s","30m"]},` +
+			`"width":4,"shard_size":1}`},
+		{"/v1/sweep", `{"spec":{"op":"size","workloads":["memcached"],` +
+			`"techniques":[{"name":"hibernate"},{"name":"throttling","pstate":6}],"outages":["5m","1h"]},` +
+			`"width":2,"shard_size":3}`},
 	}
 
 	// Serial baseline first: one canonical response per probe.

@@ -1,0 +1,116 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+
+	"backuppower/internal/grid"
+)
+
+// SweepRequest is the body of POST /v1/sweep: a declarative grid spec
+// plus the familiar per-request execution knobs. The response streams
+// one NDJSON row per surviving grid point, in plan order, flushed shard
+// by shard; the bytes are identical at any width and any shard size.
+type SweepRequest struct {
+	Spec grid.Spec `json:"spec"`
+	// Width overrides the sweep worker-pool width for this request
+	// (0 = server default). Results are identical at any width.
+	Width int `json:"width,omitempty"`
+	// Timeout tightens the per-request deadline below the server's
+	// -timeout; it can never extend it.
+	Timeout string `json:"timeout,omitempty"`
+	// ShardSize batches row emission (0 = server default); it never
+	// changes row values or order.
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// DecodeSweepRequest strictly decodes a SweepRequest body. Exported so
+// the fuzz target drives the exact decoder the handler uses.
+func DecodeSweepRequest(r io.Reader) (SweepRequest, error) {
+	var req SweepRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return SweepRequest{}, err
+	}
+	return req, nil
+}
+
+// parseShardSize validates the optional emission batch size.
+func parseShardSize(n int) error {
+	if n < 0 || n > 1<<20 {
+		return badRequest("out_of_range", "shard_size", "shard_size %d out of [0, %d]", n, 1<<20)
+	}
+	return nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeSweepRequest(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	timeout, err := parseTimeout(req.Timeout)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := parseWidth(req.Width); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := parseShardSize(req.ShardSize); err != nil {
+		writeError(w, err)
+		return
+	}
+	plan, err := grid.Compile(req.Spec, grid.CompileOptions{
+		DefaultServers: s.fw.Env.Servers,
+		MaxRows:        s.cfg.MaxSweepRows,
+	})
+	if err != nil {
+		writeError(w, asAPIError(err))
+		return
+	}
+
+	if !s.acquire() {
+		writeSaturated(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.evalContext(r, req.Width, timeout)
+	defer cancel()
+	if s.testHookEvalStarted != nil {
+		s.testHookEvalStarted(ctx)
+	}
+
+	// From here on the response streams: the status line and header go
+	// out before the first shard, so a mid-stream failure can only be
+	// reported in-band — as a final NDJSON error line (shape ErrorBody,
+	// distinguishable from rows by its "error" object).
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	runErr := s.runner.RunStream(ctx, plan, grid.RunOptions{
+		ShardSize: req.ShardSize,
+		Progress: func(grid.Progress) {
+			// Fires as each shard completes, before its rows are written:
+			// push the previous shard's buffered rows to the client so a
+			// long grid streams instead of arriving all at once.
+			if flusher != nil {
+				flusher.Flush()
+			}
+		},
+	}, func(row grid.RowResult) error {
+		return writeNDJSONLine(w, grid.NewRowDTO(plan.Op, row))
+	})
+	if runErr != nil {
+		ae := evalError(runErr)
+		writeNDJSONLine(w, ErrorBody{Error: ErrorDetail{
+			Code:    ae.code,
+			Field:   ae.field,
+			Message: ae.message,
+		}})
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,222 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sweepSpecJSON is the shared probe body: a 2-workload × 2-config ×
+// 2-technique × 3-outage evaluate grid (24 rows), small enough to run in
+// milliseconds but wide enough that parallel execution reorders work.
+const sweepSpecJSON = `{
+	"workloads": ["specjbb", "memcached"],
+	"configs": [{"name": "MaxPerf"}, {"name": "NoDG"}],
+	"techniques": [{"name": "baseline"}, {"name": "throttling", "pstate": 3}],
+	"outages": ["30s", "5m", "30m"]
+}`
+
+func sweepBody(extra string) string {
+	if extra != "" {
+		extra = "," + extra
+	}
+	return `{"spec":` + sweepSpecJSON + extra + `}`
+}
+
+// TestSweepStreamDeterministic is the endpoint half of the tentpole's
+// determinism contract: the NDJSON body must be byte-identical at any
+// requested width and any shard size.
+func TestSweepStreamDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	resp, baseline := post(t, ts.URL+"/v1/sweep", sweepBody(`"width":1,"shard_size":1`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline status %d: %s", resp.StatusCode, baseline)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(baseline), "\n"), "\n")
+	if len(lines) != 24 {
+		t.Fatalf("got %d rows, want 24", len(lines))
+	}
+	for i, line := range lines {
+		var row struct {
+			Index *int   `json:"index"`
+			Op    string `json:"op"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("row %d is not JSON: %v: %s", i, err, line)
+		}
+		if row.Index == nil || *row.Index != i || row.Op != "evaluate" {
+			t.Fatalf("row %d out of order or mislabeled: %s", i, line)
+		}
+	}
+
+	for _, extra := range []string{
+		``, `"width":8`, `"width":8,"shard_size":3`, `"width":2,"shard_size":1000`, `"shard_size":5`,
+	} {
+		resp, b := post(t, ts.URL+"/v1/sweep", sweepBody(extra))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", extra, resp.StatusCode, b)
+		}
+		if !bytes.Equal(b, baseline) {
+			t.Fatalf("response with %q diverged from the serial baseline", extra)
+		}
+	}
+}
+
+// TestSweepValidation covers the request-level rejections: malformed
+// bodies, compile errors (with the grid's field addressing), row-bound
+// enforcement, and knob ranges — all as typed 4xx JSON, never a stream.
+func TestSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, func(cfg *Config) *Server {
+		cfg.MaxSweepRows = 10
+		return nil
+	})
+	cases := []struct {
+		name  string
+		body  string
+		code  string
+		field string
+	}{
+		{"trailing garbage", `{"spec":{}} x`, "invalid_json", ""},
+		{"unknown spec field", `{"spec":{"shards":4}}`, "invalid_json", ""},
+		{"unknown op", `{"spec":{"op":"optimize"}}`, "invalid_field", "op"},
+		{"missing workloads", `{"spec":{"outages":["30s"],"technique_variants":true,"op":"size"}}`,
+			"missing_field", "workloads"},
+		{"bad axis element", `{"spec":{"workloads":["specjbb"],"technique_variants":true,"op":"size",` +
+			`"outages":["30s","never"]}}`, "invalid_duration", "outages[1]"},
+		{"bad nested technique", `{"spec":{"workloads":["specjbb"],"outages":["30s"],` +
+			`"configs":[{"name":"MaxPerf"}],"techniques":[{"name":"baseline"},{"name":"warp"}]}}`,
+			"unknown_technique", "techniques[1].name"},
+		{"row bound", sweepBody(``), "too_many_rows", "max_rows"},
+		{"bad width", `{"spec":{},"width":-1}`, "out_of_range", "width"},
+		{"bad shard size", `{"spec":{},"shard_size":-1}`, "out_of_range", "shard_size"},
+		{"bad timeout", `{"spec":{},"timeout":"soon"}`, "invalid_duration", "timeout"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, b := post(t, ts.URL+"/v1/sweep", c.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", resp.StatusCode, b)
+			}
+			var eb ErrorBody
+			if err := json.Unmarshal(b, &eb); err != nil {
+				t.Fatalf("error body is not JSON: %v: %s", err, b)
+			}
+			if eb.Error.Code != c.code || eb.Error.Field != c.field {
+				t.Fatalf("got (%s, %s): %s; want (%s, %s)",
+					eb.Error.Code, eb.Error.Field, eb.Error.Message, c.code, c.field)
+			}
+		})
+	}
+}
+
+// TestSweepDeadlineMidStream pins the in-band failure path: once the
+// stream has begun the status line is spent, so a deadline expiry must
+// arrive as a final NDJSON error line rather than a 504.
+func TestSweepDeadlineMidStream(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, b := post(t, ts.URL+"/v1/sweep", sweepBody(`"timeout":"1ns"`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streaming failure changed the status: %d: %s", resp.StatusCode, b)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(b), "\n"), "\n")
+	last := lines[len(lines)-1]
+	var eb ErrorBody
+	if err := json.Unmarshal([]byte(last), &eb); err != nil || eb.Error.Code != "deadline_exceeded" {
+		t.Fatalf("final line is not the deadline error: %s", last)
+	}
+	if len(lines) > 24 {
+		t.Fatalf("stream kept going after the deadline: %d lines", len(lines))
+	}
+}
+
+// TestSweepSaturationReturns429: admission control applies to sweeps
+// exactly as to single evaluations — the stream never starts on a
+// saturated server.
+func TestSweepSaturationReturns429(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv, ts := newTestServer(t, func(cfg *Config) *Server {
+		cfg.MaxInflight = 1
+		return nil
+	})
+	srv.testHookEvalStarted = func(context.Context) {
+		close(started)
+		<-release
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(sweepBody(``)))
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-started
+	resp, b := post(t, ts.URL+"/v1/sweep", sweepBody(``))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second sweep on a full server: status %d: %s", resp.StatusCode, b)
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenSweep pins one representative NDJSON row stream per op to a
+// committed golden file, with each line canonicalized the way the other
+// endpoint goldens are. Regenerate with `go test ./internal/httpapi -update`.
+func TestGoldenSweep(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"sweep-evaluate", `{"spec":{"workloads":["specjbb"],"configs":[{"name":"LargeEUPS"}],` +
+			`"techniques":[{"name":"throttle-then-save","pstate":6,"save":"hibernate"}],` +
+			`"outages":["30s","30m","2h"]}}`},
+		{"sweep-size", `{"spec":{"op":"size","workloads":["web-search"],` +
+			`"techniques":[{"name":"hibernate","proactive":true},{"name":"baseline"}],"outages":["1h"]}}`},
+		{"sweep-best", `{"spec":{"op":"best","workloads":["memcached"],` +
+			`"configs":[{"name":"SmallPUPS"},{"name":"MinCost"}],"outages":["30m"]}}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, raw := post(t, ts.URL+"/v1/sweep", c.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, raw)
+			}
+			var got bytes.Buffer
+			for i, line := range strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n") {
+				fmt.Fprintf(&got, "# row %d\n", i)
+				got.Write(canonicalJSON(t, []byte(line)))
+			}
+
+			path := filepath.Join("testdata", c.name+".golden.ndjson")
+			if *update {
+				if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/httpapi -update` to create)", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("sweep stream drifted from golden file %s:\ngot:\n%s\nwant:\n%s",
+					path, got.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,14 +1,16 @@
 GO ?= go
 
 # Benchmarks tracked by the bench-baseline / bench-compare pair: the
-# micro-primitives the PR-2 fast path optimized plus the end-to-end regen.
-BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|BenchmarkMinCostSizing|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkFullRegen
+# micro-primitives the PR-2 fast path optimized, the end-to-end regen, and
+# the outage-axis batch kernel pairs (batch vs scalar, grid with the
+# kernel on vs off).
+BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|BenchmarkMinCostSizing|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkFullRegen|BenchmarkOutageBatch|BenchmarkOutageScalar|BenchmarkSizingOutage|BenchmarkGridOutageAxis
 BENCH_COUNT   ?= 10
 BENCH_DIR     ?= .bench
 
-.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare
+.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare batch-equivalence
 
-ci: vet build race race-httpapi cover bench-alloc bench-smoke
+ci: vet build race race-httpapi cover bench-alloc bench-smoke batch-equivalence
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +64,19 @@ bench-alloc:
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkFig6 -benchtime=1x .
 	$(GO) test -run=NONE -bench=BenchmarkFullRegen -benchtime=1x .
+
+# Byte-equality smoke for the outage-axis batch kernel: the same Fig-5
+# style sweep through cmd/gridrun must produce identical NDJSON with the
+# kernel on (default) and off (-no-batch), at different widths and shard
+# sizes for good measure.
+batch-equivalence:
+	@tmp=$$(mktemp -d); \
+	spec='-op best -workloads specjbb -configs MaxPerf,MinCost,NoDG,NoUPS,DG-SmallPUPS,LargeEUPS -outages 30s,90s,5m,12m,30m,45m,1h,2h'; \
+	$(GO) run ./cmd/gridrun $$spec -parallel 1 -o $$tmp/batch.ndjson && \
+	$(GO) run ./cmd/gridrun $$spec -no-batch -parallel 4 -shard 5 -o $$tmp/scalar.ndjson && \
+	cmp $$tmp/batch.ndjson $$tmp/scalar.ndjson && \
+	echo "batch-equivalence: gridrun output identical with and without -no-batch" ; \
+	status=$$?; rm -rf $$tmp; exit $$status
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -8,6 +8,7 @@ package backuppower_test
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"backuppower/internal/core"
 	"backuppower/internal/cost"
 	"backuppower/internal/experiments"
+	"backuppower/internal/grid"
 	"backuppower/internal/memsim"
 	"backuppower/internal/migration"
 	"backuppower/internal/sweep"
@@ -238,6 +240,159 @@ func BenchmarkFullRegen(b *testing.B) {
 		}
 	}
 }
+
+// benchOutageAxis builds an n-point outage axis spanning 30s..8h — the
+// range the paper's figures sweep.
+func benchOutageAxis(n int) []time.Duration {
+	axis := make([]time.Duration, n)
+	span := 8*time.Hour - 30*time.Second
+	for i := range axis {
+		axis[i] = 30*time.Second + time.Duration(i)*span/time.Duration(max(n-1, 1))
+	}
+	return axis
+}
+
+// BenchmarkOutageBatch measures the batch kernel directly: one plan and
+// one segment walk amortized over the whole outage axis. Compare against
+// BenchmarkOutageScalar at the same axis width for the per-point dispatch
+// it replaces; per-point cost should fall as the axis widens while the
+// scalar path stays flat.
+func BenchmarkOutageBatch(b *testing.B) {
+	for _, n := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("axis-%d", n), func(b *testing.B) {
+			env := technique.DefaultEnv(64)
+			scn := cluster.Scenario{
+				Env:       env,
+				Workload:  workload.Specjbb(),
+				Backup:    cost.LargeEUPS(env.PeakPower()),
+				Technique: technique.Sleep{LowPower: true},
+				Outage:    time.Hour,
+			}
+			axis := benchOutageAxis(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.SimulateOutageBatch(scn, axis)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != n {
+					b.Fatalf("results = %d", len(res))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOutageScalar is the per-point loop BenchmarkOutageBatch
+// replaces: one SimulateAggregate per axis point.
+func BenchmarkOutageScalar(b *testing.B) {
+	for _, n := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("axis-%d", n), func(b *testing.B) {
+			env := technique.DefaultEnv(64)
+			scn := cluster.Scenario{
+				Env:       env,
+				Workload:  workload.Specjbb(),
+				Backup:    cost.LargeEUPS(env.PeakPower()),
+				Technique: technique.Sleep{LowPower: true},
+				Outage:    time.Hour,
+			}
+			axis := benchOutageAxis(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, d := range axis {
+					scn.Outage = d
+					if _, err := cluster.SimulateAggregate(scn); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSizingOutageAxis measures warm-started bracket sizing along a
+// 32-point outage axis from a cold scenario cache each iteration (the
+// memo would otherwise make every iteration after the first free).
+func BenchmarkSizingOutageAxis(b *testing.B) {
+	fw := backuppower.NewFramework(64)
+	w := workload.Specjbb()
+	axis := benchOutageAxis(32)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ResetScenarioCache()
+		pts, err := fw.MinCostUPSAxisCtx(ctx, technique.Sleep{LowPower: true}, w, axis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(axis) {
+			b.Fatalf("points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkSizingOutageScalar is the cold-bracket-per-point loop that
+// BenchmarkSizingOutageAxis replaces.
+func BenchmarkSizingOutageScalar(b *testing.B) {
+	fw := backuppower.NewFramework(64)
+	w := workload.Specjbb()
+	axis := benchOutageAxis(32)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ResetScenarioCache()
+		for _, d := range axis {
+			if _, _, err := fw.MinCostUPSCtx(ctx, technique.Sleep{LowPower: true}, w, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchGridOutageAxis runs a 32-point outage-axis grid end-to-end through
+// the Runner (serial width, cold cache per iteration) with the batch
+// kernel on or off. This is the acceptance pair: the batched run must
+// stay well ahead of the scalar dispatch at identical output bytes.
+func benchGridOutageAxis(b *testing.B, noBatch bool) {
+	b.Helper()
+	outs := make([]string, 32)
+	for i, d := range benchOutageAxis(32) {
+		outs[i] = d.String()
+	}
+	spec := grid.Spec{
+		Workloads:  []string{"specjbb"},
+		Configs:    []grid.ConfigDTO{{Name: "LargeEUPS"}},
+		Techniques: []grid.TechniqueDTO{{Name: "sleep"}, {Name: "migration"}},
+		Outages:    outs,
+	}
+	plan, err := grid.Compile(spec, grid.CompileOptions{DefaultServers: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := grid.NewRunner(core.New(16))
+	ctx := sweep.WithWidth(context.Background(), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ResetScenarioCache()
+		rows := 0
+		err := r.RunStream(ctx, plan, grid.RunOptions{NoBatch: noBatch}, func(row grid.RowResult) error {
+			if row.Err != nil {
+				return row.Err
+			}
+			rows++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows != len(plan.Points) {
+			b.Fatalf("rows = %d", rows)
+		}
+	}
+}
+
+func BenchmarkGridOutageAxis(b *testing.B)        { benchGridOutageAxis(b, false) }
+func BenchmarkGridOutageAxisNoBatch(b *testing.B) { benchGridOutageAxis(b, true) }
 
 func BenchmarkBestForConfig(b *testing.B) {
 	fw := backuppower.NewFramework(16)

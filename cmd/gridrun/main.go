@@ -12,10 +12,10 @@
 //	        -techniques 'throttling:pstate=2;sleep:low_power=true' -outages 30m
 //	gridrun -op size -variants -outages 30s,30m,2h -format table
 //
-// -parallel sets the worker-pool width and -shard the emission batch
-// size; neither changes the output bytes. Rows always stream in plan
-// order (servers, workloads, configs, techniques, outages — outermost to
-// innermost).
+// -parallel sets the worker-pool width, -shard the emission batch size,
+// and -no-batch disables the outage-axis batch kernel; none of them
+// changes the output bytes. Rows always stream in plan order (servers,
+// workloads, configs, techniques, outages — outermost to innermost).
 package main
 
 import (
@@ -60,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	parallel := fs.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
 	shard := fs.Int("shard", 0, "rows per emitted shard (0 = default); output is identical at any size")
+	noBatch := fs.Bool("no-batch", false, "disable the outage-axis batch kernel (debug; output is identical either way)")
 	timeout := fs.Duration("timeout", 0, "overall evaluation deadline (0 = none)")
 	format := fs.String("format", "ndjson", "output format: ndjson or table")
 	out := fs.String("o", "", "write output to a file instead of stdout")
@@ -117,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		w = f
 	}
 
-	opts := grid.RunOptions{ShardSize: *shard}
+	opts := grid.RunOptions{ShardSize: *shard, NoBatch: *noBatch}
 	if *progress {
 		opts.Progress = func(p grid.Progress) {
 			fmt.Fprintf(stderr, "gridrun: shard %d/%d (%d/%d rows)\n", p.Shard, p.Shards, p.RowsDone, p.Rows)

@@ -61,6 +61,40 @@ func TestRequiredRuntimeAllocFree(t *testing.T) {
 	}
 }
 
+// TestBatchWalkAllocFree pins the batch kernel's per-point cost at zero
+// heap allocations: widening the axis 16× must not change the allocation
+// count at all, because each cut is served by a stack snapshot of the
+// walk state — the only allocations are the result/cut slices and the
+// single plan, whose count is independent of the axis length.
+func TestBatchWalkAllocFree(t *testing.T) {
+	e := env()
+	peak := e.PeakPower()
+	axis := func(n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Minute + time.Duration(i)*(8*time.Hour-time.Minute)/time.Duration(n)
+		}
+		return out
+	}
+	for _, tech := range []technique.Technique{technique.Sleep{}, technique.Hibernate{}, technique.Throttling{PState: 3}} {
+		for _, b := range []cost.Backup{cost.LargeEUPS(peak), cost.NoDG(peak), cost.DGSmallPUPS(peak)} {
+			s := scn(b, tech, workload.Specjbb(), time.Hour)
+			measure := func(outages []time.Duration) float64 {
+				return testing.AllocsPerRun(50, func() {
+					if _, err := SimulateOutageBatch(s, outages); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			small, large := measure(axis(8)), measure(axis(128))
+			if small != large {
+				t.Errorf("%s/%s: batch allocations grow with the axis: %.0f at 8 points vs %.0f at 128 — per-point walk is no longer allocation-free",
+					tech.Name(), b.Name, small, large)
+			}
+		}
+	}
+}
+
 // TestSimulateAggregateAllocBound bounds the full entry point: everything
 // it allocates must come from the technique's plan construction (a phase
 // slice plus per-technique scratch), not from the simulation itself. The

@@ -178,136 +178,135 @@ func SimulateAggregate(s Scenario) (Result, error) {
 	return simulatePlan(s, plan, &rec)
 }
 
-// simulatePlan is the shared simulation core: an exact piecewise sweep of
-// the plan against the backup through the allocation-free segment cursor.
-// With a trace-less recorder the whole call is allocation-free (pinned by
-// TestAggregatePathAllocFree).
-func simulatePlan(s Scenario, plan technique.Plan, rec *recorder) (Result, error) {
-	if err := plan.Validate(); err != nil {
-		return Result{}, err
-	}
+// walkState is the running state of a segment walk: the UPS depletion, the
+// metric accumulators, and the early-termination markers. It is a plain
+// value — copying it snapshots the walk, which is how the batch kernel
+// emits per-outage metrics at each cut point without re-walking the shared
+// prefix (and how the scalar path keeps its zero-allocation discipline:
+// everything lives on the stack).
+type walkState struct {
+	unit ups.Unit
+	rec  recorder
 
+	peakUPS    units.Watts
+	peakBackup units.Watts
+	upsEnergy  units.WattHours
+
+	crashed  bool
+	crashAt  time.Duration
+	darkSafe bool          // powered down with state already safe
+	unavail  time.Duration // unavailable time accumulated in [0, end of plan pressure)
+	lastEnd  time.Duration
+}
+
+// step advances the walk by one segment, returning false when the walk
+// terminates inside it (power-capping violation or battery exhaustion).
+// The body is the exact per-segment logic of the original single-pass
+// sweep; bit-identity between the scalar and batch paths rests on both
+// funneling through it with identical segment sequences.
+func (st *walkState) step(seg *Segment) bool {
+	dur := seg.End - seg.Start
+	st.rec.setPerf(seg.Start, seg.Perf)
+	st.rec.setPower(seg.Start, float64(seg.Load))
+
+	if seg.UPSNeed > 0 {
+		if !st.unit.Config.CanCarry(seg.UPSNeed) {
+			// Power capping violated: the backup cannot source this
+			// phase at all.
+			st.crashed, st.crashAt = !seg.StateSafe, seg.Start
+			if seg.StateSafe {
+				st.darkSafe = true
+			}
+			if seg.Start > st.lastEnd {
+				st.lastEnd = seg.Start
+			}
+			return false
+		}
+		if seg.UPSNeed > st.peakUPS {
+			st.peakUPS = seg.UPSNeed
+		}
+		sustained := st.unit.Drain(seg.UPSNeed, dur)
+		st.upsEnergy += seg.UPSNeed.ForDuration(sustained)
+		if sustained < dur {
+			at := seg.Start + sustained
+			if seg.StateSafe {
+				st.darkSafe = true
+			} else {
+				st.crashed, st.crashAt = true, at
+			}
+			if !seg.Available {
+				st.unavail += at - seg.Start
+			}
+			st.lastEnd = at
+			return false
+		}
+	}
+	if seg.Load > st.peakBackup {
+		st.peakBackup = seg.Load
+	}
+	if !seg.Available {
+		st.unavail += dur
+	}
+	st.lastEnd = seg.End
+	return true
+}
+
+// finish runs the outage epilogue on the walked state for reporting window
+// T (with its effective pressure end effEnd) and assembles the Result. It
+// mutates the receiver's recorder (the post-walk perf edges), so the batch
+// kernel always calls it on a snapshot, never on the running state.
+// normCost is the precomputed s.Backup.NormalizedCost(s.Env.PeakPower()) —
+// outage-invariant, so the batch kernel computes it once per axis instead
+// of re-deriving the battery cost model at every cut.
+func (st *walkState) finish(s Scenario, plan technique.Plan, T, effEnd, fixedPhasesEnd time.Duration, dgEndsOutage bool, normCost float64) Result {
 	res := Result{
 		Technique: plan.Technique,
 		Config:    s.Backup.Name,
 		Workload:  s.Workload.Name,
-		Outage:    s.Outage,
-		Cost:      s.Backup.NormalizedCost(s.Env.PeakPower()),
+		Outage:    T,
+		Cost:      normCost,
 		Survived:  true,
-	}
 
-	T := s.Outage
-	normal := s.Env.NormalPower(s.Workload)
+		PeakUPSDraw:    st.peakUPS,
+		PeakBackupDraw: st.peakBackup,
+		UPSEnergy:      st.upsEnergy,
+		UPSRemaining:   st.unit.Remaining(),
+	}
 	dg := s.Backup.DG
-	unit := ups.Unit{Config: s.Backup.UPS}
-
-	// If the DG can carry the full normal load, it ends the outage
-	// pressure early: the datacenter returns to full service once the
-	// transfer completes (the paper's "DG translates long outages into
-	// short ones").
-	dgEndsOutage := dg.Provisioned() && dg.CanCarry(normal)
-	effEnd := T
-	if dgEndsOutage && dg.TransferCompleteAt() < T {
-		effEnd = dg.TransferCompleteAt()
-	}
-
-	var (
-		crashed        bool
-		crashAt        time.Duration
-		darkSafe       bool          // powered down with state already safe
-		unavail        time.Duration // unavailable time accumulated in [0, end of plan pressure)
-		lastEnd        time.Duration
-		fixedPhasesEnd time.Duration
-	)
-	for _, ph := range plan.Phases {
-		if !ph.OpenEnded {
-			fixedPhasesEnd += ph.Dur
-		}
-	}
-
-	cur := newSegCursor(plan, dg, effEnd)
-	var seg Segment
-	for cur.next(&seg) {
-		dur := seg.End - seg.Start
-		rec.setPerf(seg.Start, seg.Perf)
-		rec.setPower(seg.Start, float64(seg.Load))
-
-		if seg.UPSNeed > 0 {
-			if !unit.Config.CanCarry(seg.UPSNeed) {
-				// Power capping violated: the backup cannot source this
-				// phase at all.
-				crashed, crashAt = !seg.StateSafe, seg.Start
-				if seg.StateSafe {
-					darkSafe = true
-				}
-				if seg.Start > lastEnd {
-					lastEnd = seg.Start
-				}
-				break
-			}
-			if seg.UPSNeed > res.PeakUPSDraw {
-				res.PeakUPSDraw = seg.UPSNeed
-			}
-			sustained := unit.Drain(seg.UPSNeed, dur)
-			res.UPSEnergy += seg.UPSNeed.ForDuration(sustained)
-			if sustained < dur {
-				at := seg.Start + sustained
-				if seg.StateSafe {
-					darkSafe = true
-				} else {
-					crashed, crashAt = true, at
-				}
-				if !seg.Available {
-					unavail += at - seg.Start
-				}
-				lastEnd = at
-				break
-			}
-		}
-		if seg.Load > res.PeakBackupDraw {
-			res.PeakBackupDraw = seg.Load
-		}
-		if !seg.Available {
-			unavail += dur
-		}
-		lastEnd = seg.End
-	}
-	res.UPSRemaining = unit.Remaining()
-
 	recoveryLo, recoveryHi := technique.CrashRecovery(s.Env, s.Workload)
 
 	switch {
-	case crashed:
+	case st.crashed:
 		res.Survived = false
-		res.CrashedAt = crashAt
+		res.CrashedAt = st.crashAt
 		// Power returns at the outage end, or earlier on the DG if it can
 		// carry the datacenter.
 		powerBack := T
 		if dgEndsOutage {
 			ready := dg.TransferCompleteAt()
-			if ready < crashAt {
-				ready = crashAt
+			if ready < st.crashAt {
+				ready = st.crashAt
 			}
 			if ready < powerBack {
 				powerBack = ready
 			}
 		}
-		rec.setPerf(crashAt, 0)
+		st.rec.setPerf(st.crashAt, 0)
 		// Unavailable from crash until power back plus recovery.
-		dt := unavail + (powerBack - crashAt)
+		dt := st.unavail + (powerBack - st.crashAt)
 		res.DowntimeMin = dt + recoveryLo
 		res.DowntimeMax = dt + recoveryHi
 		// If recovery finishes inside the outage window (DG restored
 		// power early), performance returns before T.
 		if back := powerBack + (recoveryLo+recoveryHi)/2; back < T {
-			rec.setPerf(back, 1)
+			st.rec.setPerf(back, 1)
 		}
 
-	case darkSafe:
+	case st.darkSafe:
 		// State persisted; servers dark until power returns, then the
 		// plan's restore path runs.
-		rec.setPerf(lastEnd, 0)
-		dt := unavail + (effEnd - lastEnd) + plan.RestoreDowntime
+		st.rec.setPerf(st.lastEnd, 0)
+		dt := st.unavail + (effEnd - st.lastEnd) + plan.RestoreDowntime
 		res.DowntimeMin, res.DowntimeMax = dt, dt
 
 	default:
@@ -321,20 +320,72 @@ func simulatePlan(s Scenario, plan technique.Plan, rec *recorder) (Result, error
 		if plan.RestoreAfterPowerLossOnly {
 			restore = 0 // the servers never went dark
 		}
-		dt := unavail + tail + restore
+		dt := st.unavail + tail + restore
 		res.DowntimeMin, res.DowntimeMax = dt, dt
 		// DG-carried full restoration within the outage window shows up
 		// as restored performance after the restore downtime.
 		if effEnd < T {
 			back := effEnd + tail + restore
 			if back < T {
-				rec.setPerf(back, 1)
+				st.rec.setPerf(back, 1)
 			}
 		}
 	}
 	res.Downtime = (res.DowntimeMin + res.DowntimeMax) / 2
 
-	res.Perf = rec.perf.mean(T)
+	res.Perf = st.rec.perf.mean(T)
+	return res
+}
+
+// effectivePressureEnd returns whether the DG ends the outage pressure
+// early and when the pressure window for reporting window T closes: at T,
+// or at transfer completion if the DG can carry the full normal load (the
+// paper's "DG translates long outages into short ones").
+func effectivePressureEnd(s Scenario, T time.Duration) (effEnd time.Duration, dgEndsOutage bool) {
+	dg := s.Backup.DG
+	dgEndsOutage = dg.Provisioned() && dg.CanCarry(s.Env.NormalPower(s.Workload))
+	effEnd = T
+	if dgEndsOutage && dg.TransferCompleteAt() < T {
+		effEnd = dg.TransferCompleteAt()
+	}
+	return effEnd, dgEndsOutage
+}
+
+// fixedPhasesEnd sums the plan's fixed (non-open-ended) phase durations.
+func fixedPhasesEnd(plan technique.Plan) time.Duration {
+	var end time.Duration
+	for _, ph := range plan.Phases {
+		if !ph.OpenEnded {
+			end += ph.Dur
+		}
+	}
+	return end
+}
+
+// simulatePlan is the shared simulation core: an exact piecewise sweep of
+// the plan against the backup through the allocation-free segment cursor.
+// With a trace-less recorder the whole call is allocation-free (pinned by
+// TestAggregatePathAllocFree).
+func simulatePlan(s Scenario, plan technique.Plan, rec *recorder) (Result, error) {
+	if err := plan.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	T := s.Outage
+	effEnd, dgEndsOutage := effectivePressureEnd(s, T)
+	fixedEnd := fixedPhasesEnd(plan)
+
+	st := walkState{unit: ups.Unit{Config: s.Backup.UPS}, rec: *rec}
+	cur := newSegCursor(plan, s.Backup.DG, effEnd)
+	var seg Segment
+	for cur.next(&seg) {
+		if !st.step(&seg) {
+			break
+		}
+	}
+	res := st.finish(s, plan, T, effEnd, fixedEnd, dgEndsOutage,
+		s.Backup.NormalizedCost(s.Env.PeakPower()))
+	*rec = st.rec
 	return res, nil
 }
 

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"backuppower/internal/cost"
+	"backuppower/internal/technique"
+	"backuppower/internal/workload"
+)
+
+// axis16 is the batch tests' hostile outage axis: unsorted, duplicated,
+// spanning the registry's full range.
+func axis16() []time.Duration {
+	return []time.Duration{
+		time.Hour, 30 * time.Second, 5 * time.Minute, 30 * time.Second,
+		2 * time.Hour, 45 * time.Minute, 10 * time.Minute, 90 * time.Second,
+		8 * time.Hour, 3 * time.Hour, 20 * time.Minute, time.Minute,
+		6 * time.Hour, 15 * time.Minute, 4 * time.Hour, 5 * time.Minute,
+	}
+}
+
+// TestEvaluateBatchMatchesEvaluate pins the batch evaluator to the scalar
+// one across variants × Table 3 configs × workloads, in both cache
+// regimes: evaluated cold (batch populates the memo cache) and then
+// re-checked against scalar Evaluate (which must see the seeded entries
+// and agree exactly).
+func TestEvaluateBatchMatchesEvaluate(t *testing.T) {
+	ResetScenarioCache()
+	f := New(16)
+	outages := axis16()
+	checked := 0
+	for _, v := range f.variants() {
+		for _, w := range workload.All() {
+			for _, b := range cost.Table3(f.Env.PeakPower()) {
+				got, err := f.EvaluateBatch(b, v.tech, w, outages)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: batch: %v", v.tech.Name(), w.Name, b.Name, err)
+				}
+				for i, d := range outages {
+					want, err := f.Evaluate(b, v.tech, w, d)
+					if err != nil {
+						t.Fatalf("%s/%s/%s/%v: scalar: %v", v.tech.Name(), w.Name, b.Name, d, err)
+					}
+					if got[i] != want {
+						t.Errorf("%s/%s/%s/%v: batch diverges from scalar\n got %+v\nwant %+v",
+							v.tech.Name(), w.Name, b.Name, d, got[i], want)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d points checked", checked)
+	}
+}
+
+// TestEvaluateBatchSplitsWarmFromCold drives the partial-warm path
+// directly: pre-warm a subset of the axis through scalar Evaluate, then
+// batch the full axis and verify results and cache counters — warm points
+// must be served as hits without re-simulation, cold points must each be
+// one miss.
+func TestEvaluateBatchSplitsWarmFromCold(t *testing.T) {
+	ResetScenarioCache()
+	f := New(16)
+	b := cost.LargeEUPS(f.Env.PeakPower())
+	tech := technique.Sleep{}
+	w := workload.Specjbb()
+	outages := []time.Duration{
+		10 * time.Minute, 20 * time.Minute, 30 * time.Minute, 40 * time.Minute,
+		50 * time.Minute, time.Hour, 70 * time.Minute, 80 * time.Minute,
+	}
+
+	// Pre-warm every other point.
+	want := make(map[time.Duration]struct{ perf float64 })
+	for i := 0; i < len(outages); i += 2 {
+		r, err := f.Evaluate(b, tech, w, outages[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[outages[i]] = struct{ perf float64 }{r.Perf}
+	}
+	h0, m0 := ScenarioCacheStats()
+
+	got, err := f.EvaluateBatch(b, tech, w, outages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := ScenarioCacheStats()
+	if hits := h1 - h0; hits != 4 {
+		t.Errorf("batch over half-warm axis counted %d hits, want 4", hits)
+	}
+	if misses := m1 - m0; misses != 4 {
+		t.Errorf("batch over half-warm axis counted %d misses, want 4", misses)
+	}
+	for i, d := range outages {
+		r, err := f.Evaluate(b, tech, w, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != r {
+			t.Errorf("outage %v: batch %+v != scalar %+v", d, got[i], r)
+		}
+	}
+
+	// A fully warm axis is all hits, no walk.
+	h0, m0 = ScenarioCacheStats()
+	if _, err := f.EvaluateBatch(b, tech, w, outages); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 = ScenarioCacheStats()
+	if h1-h0 != 8 || m1-m0 != 0 {
+		t.Errorf("fully warm batch counted %d hits / %d misses, want 8 / 0", h1-h0, m1-m0)
+	}
+}
+
+// TestMinCostUPSAxisMatchesScalar pins the warm-started axis sizing to
+// per-point MinCostUPSCtx across the variant set and two axis orderings —
+// the warm-start probe may only short-circuit when it provably lands on
+// the cold bracket's argmin, so every field of every operating point must
+// match exactly.
+func TestMinCostUPSAxisMatchesScalar(t *testing.T) {
+	f := New(16)
+	ctx := context.Background()
+	outages := []time.Duration{
+		30 * time.Second, 2 * time.Minute, 5 * time.Minute, 15 * time.Minute,
+		30 * time.Minute, time.Hour, 2 * time.Hour, 4 * time.Hour,
+	}
+	reversed := make([]time.Duration, len(outages))
+	for i, d := range outages {
+		reversed[len(outages)-1-i] = d
+	}
+	for _, w := range workload.All() {
+		for _, v := range f.variants() {
+			for _, axis := range [][]time.Duration{outages, reversed} {
+				got, err := f.MinCostUPSAxisCtx(ctx, v.tech, w, axis)
+				if err != nil {
+					t.Fatalf("%s/%s: axis sizing: %v", v.tech.Name(), w.Name, err)
+				}
+				for i, d := range axis {
+					op, ok, err := f.MinCostUPSCtx(ctx, v.tech, w, d)
+					if err != nil {
+						t.Fatalf("%s/%s/%v: scalar sizing: %v", v.tech.Name(), w.Name, d, err)
+					}
+					if got[i].Feasible != ok {
+						t.Errorf("%s/%s/%v: axis feasible=%v, scalar=%v", v.tech.Name(), w.Name, d, got[i].Feasible, ok)
+						continue
+					}
+					if !ok {
+						continue
+					}
+					if got[i].Op.Backup != op.Backup || got[i].Op.Result != op.Result ||
+						got[i].Op.NormCost != op.NormCost || got[i].Op.Technique != op.Technique {
+						t.Errorf("%s/%s/%v: axis sizing diverges\n got %+v\nwant %+v",
+							v.tech.Name(), w.Name, d, got[i].Op, op)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBestForConfigAxisMatchesScalar pins the axis-batched Figure 5 race
+// to per-point BestForConfigCtx: same winner (down to the concrete
+// technique value) and same result at every outage for every Table 3
+// configuration.
+func TestBestForConfigAxisMatchesScalar(t *testing.T) {
+	f := New(16)
+	ctx := context.Background()
+	outages := []time.Duration{30 * time.Second, 5 * time.Minute, 30 * time.Minute, time.Hour, 2 * time.Hour}
+	for _, b := range cost.Table3(f.Env.PeakPower()) {
+		for _, w := range workload.All() {
+			got, err := f.BestForConfigAxisCtx(ctx, b, w, outages)
+			if err != nil {
+				t.Fatalf("%s/%s: axis race: %v", b.Name, w.Name, err)
+			}
+			for i, d := range outages {
+				res, tech, err := f.BestForConfigCtx(ctx, b, w, d)
+				if err != nil {
+					t.Fatalf("%s/%s/%v: scalar race: %v", b.Name, w.Name, d, err)
+				}
+				if got[i].Result != res || !reflect.DeepEqual(got[i].Tech, tech) {
+					t.Errorf("%s/%s/%v: axis race diverges\n got (%+v, %#v)\nwant (%+v, %#v)",
+						b.Name, w.Name, d, got[i].Result, got[i].Tech, res, tech)
+				}
+			}
+		}
+	}
+}

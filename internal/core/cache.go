@@ -47,10 +47,16 @@ var restSeed = maphash.MakeSeed()
 type fingerprint struct{ a, b uint64 }
 
 // cacheKey is the scenario cache's map key: the environment's 128-bit
-// content fingerprint plus a 64-bit digest of the per-call scenario rest.
+// content fingerprint, a 64-bit digest of the outage-invariant per-call
+// rest, and the outage verbatim. Keeping the outage out of the rest
+// digest is what makes the batch entry points cheap: EvaluateBatch
+// digests (env, rest) once and stamps each axis point's outage into the
+// key directly, so per-point key cost is a struct copy instead of a
+// content hash.
 type cacheKey struct {
-	env  fingerprint
-	rest uint64
+	env    fingerprint
+	rest   uint64
+	outage time.Duration
 }
 
 // envKey is a comparable mirror of technique.Env: Scenario's environment
@@ -64,15 +70,21 @@ type envKey struct {
 	mig     migration.Config
 }
 
-// restKey is the per-call half of the scenario content: everything that
-// varies between Evaluate calls on one Framework. The Technique interface
-// field carries the concrete type in the hash, which keeps distinct
-// techniques with identical field sets apart.
+// restKey is the outage-invariant per-call half of the scenario content:
+// everything that varies between Evaluate calls on one Framework except
+// the outage itself, which rides in cacheKey uncompressed. The Technique
+// interface field alone does NOT keep distinct techniques apart in the
+// hash — the runtime's interface hash folds only the value
+// representation, and every zero-size technique shares the same (empty)
+// representation, so Baseline{} and any other fieldless technique would
+// silently alias. The techType field (a reflect.Type, hashed by its
+// unique runtime pointer) carries the dynamic type explicitly;
+// TestScenarioKeySeparatesFields pins the separation.
 type restKey struct {
-	load   workload.Spec
-	backup cost.Backup
-	tech   technique.Technique
-	outage time.Duration
+	load     workload.Spec
+	backup   cost.Backup
+	tech     technique.Technique
+	techType reflect.Type
 }
 
 // envFPEntry caches the environment fingerprint for one Env content.
@@ -138,8 +150,14 @@ func (f *Framework) scenarioCacheKey(s cluster.Scenario) cacheKey {
 		f.envfp.Store(&envFPEntry{key: ek, fp: fp})
 	}
 	return cacheKey{
-		env:  fp,
-		rest: maphash.Comparable(restSeed, restKey{load: s.Workload, backup: s.Backup, tech: s.Technique, outage: s.Outage}),
+		env: fp,
+		rest: maphash.Comparable(restSeed, restKey{
+			load:     s.Workload,
+			backup:   s.Backup,
+			tech:     s.Technique,
+			techType: reflect.TypeOf(s.Technique),
+		}),
+		outage: s.Outage,
 	}
 }
 

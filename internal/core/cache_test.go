@@ -22,13 +22,18 @@ func TestScenarioKeyMirrorsServerConfig(t *testing.T) {
 		t.Fatalf("serverKey has %d fields, server.Config has %d — update keyServer and serverKey", key, cfg)
 	}
 	// Likewise the outer mirrors: Scenario's 5 fields split into the
-	// environment half (Env flattened into its 4 constituents) and the
-	// per-call rest (workload, backup, technique, outage).
+	// environment half (Env flattened into its 4 constituents), the
+	// outage-invariant rest (workload, backup, technique plus its explicit
+	// dynamic type), and the outage carried verbatim in cacheKey so batch
+	// callers can stamp it without re-hashing.
 	if got := reflect.TypeOf(envKey{}).NumField(); got != 4 {
 		t.Fatalf("envKey has %d fields, want 4 — update keyEnv", got)
 	}
 	if got := reflect.TypeOf(restKey{}).NumField(); got != 4 {
 		t.Fatalf("restKey has %d fields, want 4 — update scenarioCacheKey", got)
+	}
+	if got := reflect.TypeOf(cacheKey{}).NumField(); got != 3 {
+		t.Fatalf("cacheKey has %d fields, want 3 — update scenarioCacheKey and EvaluateBatch", got)
 	}
 }
 
@@ -66,6 +71,29 @@ func TestScenarioKeySeparatesFields(t *testing.T) {
 	}
 	if again := mk(nil); again != ref {
 		t.Error("identical scenarios produced different keys")
+	}
+}
+
+// TestScenarioKeySeparatesZeroSizeTechniques pins the techType field in
+// the key digest: interfaces holding distinct zero-size struct types hash
+// identically under maphash.Comparable (the runtime folds only the value
+// representation, and every empty struct shares it), so without the
+// explicit dynamic-type field Baseline{} and any other fieldless
+// technique would silently share one cache entry.
+func TestScenarioKeySeparatesZeroSizeTechniques(t *testing.T) {
+	f := New(16)
+	mk := func(tech technique.Technique) cacheKey {
+		return f.scenarioCacheKey(cluster.Scenario{
+			Env:       f.Env,
+			Workload:  workload.Specjbb(),
+			Backup:    cost.MinCost(f.Env.PeakPower()),
+			Technique: tech,
+			Outage:    time.Hour,
+		})
+	}
+	type otherEmpty struct{ technique.Baseline }
+	if mk(technique.Baseline{}) == mk(otherEmpty{}) {
+		t.Error("two zero-size technique types share a cache key")
 	}
 }
 

@@ -124,8 +124,18 @@ type ratingCandidate struct {
 // The returned error is non-nil only on cancellation or invalid input
 // (a typed *InputError wrapping ErrInvalidInput).
 func (f *Framework) MinCostUPSCtx(ctx context.Context, tech technique.Technique, w workload.Spec, outage time.Duration) (OperatingPoint, bool, error) {
+	op, ok, _, err := f.minCostUPSLattice(ctx, tech, w, outage, -1)
+	return op, ok, err
+}
+
+// minCostUPSLattice is the sizing search over the fixed 65-point rating
+// lattice, parameterized by a warm-start hint: warm is the lattice index an
+// adjacent outage's search settled on (-1 for a cold call). The returned
+// index is the chosen lattice point (-1 on the zero-draw path or when
+// sizing fails), which axis callers chain into the next point's hint.
+func (f *Framework) minCostUPSLattice(ctx context.Context, tech technique.Technique, w workload.Spec, outage time.Duration, warm int) (OperatingPoint, bool, int, error) {
 	if err := f.validateCall(outage); err != nil {
-		return OperatingPoint{}, false, err
+		return OperatingPoint{}, false, -1, err
 	}
 	plan := tech.Plan(f.Env, w, outage)
 	peakNeed := plan.PeakPower()
@@ -164,9 +174,9 @@ func (f *Framework) MinCostUPSCtx(ctx context.Context, tech technique.Technique,
 		b := cost.MinCost(dcPeak)
 		res, err := f.Evaluate(b, tech, w, outage)
 		if err != nil || !res.Survived {
-			return OperatingPoint{}, false, nil
+			return OperatingPoint{}, false, -1, nil
 		}
-		return OperatingPoint{Technique: tech.Name(), Backup: b, Result: res}, true, nil
+		return OperatingPoint{Technique: tech.Name(), Backup: b, Result: res}, true, -1, nil
 	}
 	// Candidate ratings live on a fixed 65-point geometric lattice from
 	// the plan's peak need to the datacenter peak. The dense sweep
@@ -216,18 +226,58 @@ func (f *Framework) MinCostUPSCtx(ctx context.Context, tech technique.Technique,
 		return best, found
 	}
 
+	// Warm start from an adjacent outage's argmin (axis sizing): probe the
+	// hinted index and its lattice neighbors; if the hint is feasible and a
+	// strict local minimum, the convexity the bracketed search already
+	// relies on makes it the dense-grid argmin, so the coarse-and-refine
+	// rounds are skipped (~3 rating evaluations instead of ~15). Any tie,
+	// infeasibility, or boundary ambiguity discards the probe and reruns
+	// the standard search on reset state — the cold trajectory exactly.
+	if warm >= 0 && warm <= steps && !DenseSizingGrid {
+		probe := make([]int, 0, 3)
+		for _, j := range [3]int{warm - 1, warm, warm + 1} {
+			if j >= 0 && j <= steps {
+				probe = append(probe, j)
+			}
+		}
+		if err := evalRound(probe); err != nil {
+			return OperatingPoint{}, false, -1, err
+		}
+		localMin := cands[warm].ok
+		for _, j := range probe {
+			if j != warm && (!cands[j].ok || cands[j].cost <= cands[warm].cost) {
+				localMin = false
+			}
+		}
+		if localMin {
+			best := cands[warm].backup
+			res, err := f.Evaluate(best, tech, w, outage)
+			if err != nil || !res.Survived {
+				return OperatingPoint{}, false, -1, nil
+			}
+			return OperatingPoint{
+				Technique: tech.Name(),
+				Backup:    best,
+				Result:    res,
+				NormCost:  best.NormalizedCost(dcPeak),
+			}, true, warm, nil
+		}
+		cands = [steps + 1]ratingCandidate{}
+		seen = [steps + 1]bool{}
+	}
+
 	if DenseSizingGrid {
 		idxs := make([]int, steps+1)
 		for i := range idxs {
 			idxs[i] = i
 		}
 		if err := evalRound(idxs); err != nil {
-			return OperatingPoint{}, false, err
+			return OperatingPoint{}, false, -1, err
 		}
 	} else {
 		coarse := [...]int{0, 8, 16, 24, 32, 40, 48, 56, 64}
 		if err := evalRound(coarse[:]); err != nil {
-			return OperatingPoint{}, false, err
+			return OperatingPoint{}, false, -1, err
 		}
 		// Feasibility is uniform across the lattice (every point sources
 		// the plan's peak need), so an all-infeasible coarse pass means
@@ -244,7 +294,7 @@ func (f *Framework) MinCostUPSCtx(ctx context.Context, tech technique.Technique,
 				}
 				if n > 0 {
 					if err := evalRound(round[:n]); err != nil {
-						return OperatingPoint{}, false, err
+						return OperatingPoint{}, false, -1, err
 					}
 				}
 				c, _ = argmin()
@@ -254,19 +304,19 @@ func (f *Framework) MinCostUPSCtx(ctx context.Context, tech technique.Technique,
 
 	bestIdx, found := argmin()
 	if !found {
-		return OperatingPoint{}, false, nil
+		return OperatingPoint{}, false, -1, nil
 	}
 	best := cands[bestIdx].backup
 	res, err := f.Evaluate(best, tech, w, outage)
 	if err != nil || !res.Survived {
-		return OperatingPoint{}, false, nil
+		return OperatingPoint{}, false, -1, nil
 	}
 	return OperatingPoint{
 		Technique: tech.Name(),
 		Backup:    best,
 		Result:    res,
 		NormCost:  best.NormalizedCost(dcPeak),
-	}, true, nil
+	}, true, bestIdx, nil
 }
 
 // Band is a (min, max) pair over a technique's variants — the paper's

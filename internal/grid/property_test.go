@@ -1,12 +1,16 @@
 package grid
 
 import (
+	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
+	"backuppower/internal/cluster"
 	"backuppower/internal/core"
 	"backuppower/internal/cost"
+	"backuppower/internal/sweep"
 	"backuppower/internal/technique"
 	"backuppower/internal/units"
 	"backuppower/internal/workload"
@@ -243,6 +247,152 @@ func TestPropertySizingCostNonDecreasingInOutage(t *testing.T) {
 		if op2.NormCost < op1.NormCost*(1-1e-6) {
 			t.Fatalf("scenario %d: longer outage sized cheaper: %v@%v < %v@%v (tech %s, workload %s)",
 				i, op2.NormCost, d2, op1.NormCost, d1, tech.Name(), w.Name)
+		}
+	}
+}
+
+// genBatchSpec draws a small random spec exercising every op, batchable
+// and unbatchable (hybrid) techniques, and an unsorted, sometimes-
+// duplicated outage axis — the shapes the batch grouping must be
+// invisible for.
+func genBatchSpec(rng *rand.Rand) Spec {
+	durs := []string{"30s", "90s", "5m", "12m", "30m", "45m", "1h", "2h", "4h"}
+	outs := make([]string, 3+rng.Intn(5))
+	for i := range outs {
+		outs[i] = durs[rng.Intn(len(durs))]
+	}
+	workloads := []string{"specjbb", "memcached", "web-search"}
+	configNames := []string{"MaxPerf", "MinCost", "NoDG", "NoUPS", "DG-SmallPUPS", "LargeEUPS", "SmallP-LargeEUPS"}
+	techDTO := func() TechniqueDTO {
+		switch rng.Intn(6) {
+		case 0:
+			return TechniqueDTO{Name: "baseline"}
+		case 1:
+			return TechniqueDTO{Name: "throttling", PState: intp(1 + rng.Intn(3))}
+		case 2:
+			return TechniqueDTO{Name: "sleep", LowPower: boolp(rng.Intn(2) == 0)}
+		case 3:
+			return TechniqueDTO{Name: "hibernate", Proactive: boolp(rng.Intn(2) == 0)}
+		case 4:
+			return TechniqueDTO{Name: "throttle-then-save", PState: intp(3), Save: "sleep",
+				ActiveFraction: floatp(0.25 + 0.5*rng.Float64())}
+		default:
+			return TechniqueDTO{Name: "migration-then-sleep", ActiveFraction: floatp(0.25 + 0.5*rng.Float64())}
+		}
+	}
+	spec := Spec{
+		Workloads: []string{workloads[rng.Intn(len(workloads))]},
+		Outages:   outs,
+	}
+	switch rng.Intn(3) {
+	case 0:
+		spec.Op = OpSize
+		spec.Techniques = []TechniqueDTO{techDTO()}
+	case 1:
+		spec.Op = OpBest
+		spec.Configs = []ConfigDTO{{Name: configNames[rng.Intn(len(configNames))]}}
+	default:
+		spec.Op = OpEvaluate
+		spec.Configs = []ConfigDTO{{Name: configNames[rng.Intn(len(configNames))]}}
+		spec.Techniques = []TechniqueDTO{techDTO(), techDTO()}
+	}
+	return spec
+}
+
+// rowPayload is a row's op output stripped of its Point, for comparing
+// rows across plans whose row order differs.
+type rowPayload struct {
+	Result   cluster.Result
+	Feasible bool
+	Sizing   core.OperatingPoint
+	Best     string
+	Err      string
+}
+
+func payload(r RowResult) rowPayload {
+	p := rowPayload{Result: r.Result, Feasible: r.Feasible, Sizing: r.Sizing, Best: r.Best}
+	if r.Err != nil {
+		p.Err = r.Err.Error()
+	}
+	return p
+}
+
+// TestPropertyBatchMatchesScalarDispatch: for random specs at random shard
+// sizes and pool widths, a run with the outage-axis batch kernel must be
+// deeply identical to a run with NoBatch — same rows, same order, same
+// payloads. This is the grid-level dispatch-invisibility contract behind
+// leaving /v1/sweep and gridrun batching on by default.
+func TestPropertyBatchMatchesScalarDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	for i := 0; i < propScenarios; i++ {
+		spec := genBatchSpec(rng)
+		plan, err := Compile(spec, CompileOptions{DefaultServers: 8})
+		if err != nil {
+			t.Fatalf("scenario %d: compile: %v", i, err)
+		}
+		opts := RunOptions{ShardSize: 1 + rng.Intn(7)}
+		wctx := sweep.WithWidth(ctx, 1+rng.Intn(4))
+		batched, err := NewRunner(propFW).Run(wctx, plan, opts)
+		if err != nil {
+			t.Fatalf("scenario %d: batched run: %v", i, err)
+		}
+		opts.NoBatch = true
+		scalar, err := NewRunner(propFW).Run(wctx, plan, opts)
+		if err != nil {
+			t.Fatalf("scenario %d: scalar run: %v", i, err)
+		}
+		if !reflect.DeepEqual(batched, scalar) {
+			t.Fatalf("scenario %d (%s op, %d outages): batch dispatch changed the rows\nspec %+v",
+				i, plan.Op, len(spec.Outages), spec)
+		}
+	}
+}
+
+// TestPropertyBatchIndependentOfOutagePermutation: permuting a spec's
+// outage axis permutes the rows but must not change any row's payload —
+// the batch walk's cut-point snapshots cannot leak state between points.
+// Row j of a block of len(outages) rows in the permuted plan must carry
+// the payload row perm[j] carried in the original.
+func TestPropertyBatchIndependentOfOutagePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ctx := context.Background()
+	for i := 0; i < propScenarios; i++ {
+		spec := genBatchSpec(rng)
+		perm := rng.Perm(len(spec.Outages))
+		permuted := spec
+		permuted.Outages = make([]string, len(spec.Outages))
+		for j, p := range perm {
+			permuted.Outages[j] = spec.Outages[p]
+		}
+		planA, err := Compile(spec, CompileOptions{DefaultServers: 8})
+		if err != nil {
+			t.Fatalf("scenario %d: compile: %v", i, err)
+		}
+		planB, err := Compile(permuted, CompileOptions{DefaultServers: 8})
+		if err != nil {
+			t.Fatalf("scenario %d: compile permuted: %v", i, err)
+		}
+		rowsA, err := NewRunner(propFW).Run(ctx, planA, RunOptions{ShardSize: 1 + rng.Intn(7)})
+		if err != nil {
+			t.Fatalf("scenario %d: run: %v", i, err)
+		}
+		rowsB, err := NewRunner(propFW).Run(ctx, planB, RunOptions{ShardSize: 1 + rng.Intn(7)})
+		if err != nil {
+			t.Fatalf("scenario %d: run permuted: %v", i, err)
+		}
+		if len(rowsA) != len(rowsB) {
+			t.Fatalf("scenario %d: row counts differ: %d vs %d", i, len(rowsA), len(rowsB))
+		}
+		n := len(spec.Outages)
+		for blk := 0; blk+n <= len(rowsA); blk += n {
+			for j, p := range perm {
+				got, want := payload(rowsB[blk+j]), payload(rowsA[blk+p])
+				if got != want {
+					t.Fatalf("scenario %d: block %d row %d (outage %s) diverges under permutation\n got %+v\nwant %+v",
+						i, blk/n, j, permuted.Outages[j], got, want)
+				}
+			}
 		}
 	}
 }

@@ -3,7 +3,9 @@ package grid
 import (
 	"context"
 	"errors"
+	"reflect"
 	"sync"
+	"time"
 
 	"backuppower/internal/cluster"
 	"backuppower/internal/core"
@@ -81,6 +83,13 @@ type RunOptions struct {
 	// Progress, when set, is called after each shard completes, from the
 	// emitting goroutine, before the shard's rows are emitted.
 	Progress func(Progress)
+
+	// NoBatch forces per-row scalar dispatch, disabling the outage-axis
+	// batch kernel. Batching is byte-invisible — rows, order, and values
+	// are identical either way — so this is purely a debugging and
+	// verification knob (gridrun's -no-batch flag, the CI byte-equality
+	// smoke, and the dispatch-equivalence property tests).
+	NoBatch bool
 }
 
 // RunStream evaluates the plan's rows in order, fanning each shard out
@@ -90,40 +99,102 @@ type RunOptions struct {
 // context cancellation/deadline stops the remaining shards; row-level
 // evaluation failures are reported in RowResult.Err and do not stop the
 // sweep.
+// Rows with consecutive indices that differ only in their outage form one
+// batch unit dispatched through the axis-batched framework calls
+// (EvaluateBatchCtx / MinCostUPSAxisCtx / BestForConfigAxisCtx), which is
+// where the speedup comes from: Compile emits the outage axis innermost,
+// so a dense axis collapses into a handful of plan constructions and
+// segment walks. Units never span shard boundaries, keeping Progress
+// values and emission timing identical to the scalar dispatch.
 func (r *Runner) RunStream(ctx context.Context, plan *Plan, opts RunOptions, emit func(RowResult) error) error {
 	size := opts.ShardSize
 	if size <= 0 {
 		size = DefaultShardSize
 	}
+	n := len(plan.Points)
 	shards := 0
-	if n := len(plan.Points); n > 0 {
+	if n > 0 {
 		if size > n {
 			size = n
 		}
 		shards = (n + size - 1) / size
 	}
 	done := 0
-	return sweep.MapChunked(ctx, plan.Points, size,
-		func(ctx context.Context, p Point) (RowResult, error) {
-			return r.evalPoint(ctx, plan.Op, p)
-		},
-		func(start int, rows []RowResult) error {
-			done++
-			if opts.Progress != nil {
-				opts.Progress(Progress{
-					Shard:    done,
-					Shards:   shards,
-					RowsDone: start + len(rows),
-					Rows:     len(plan.Points),
-				})
-			}
-			for _, row := range rows {
-				if err := emit(row); err != nil {
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		units := groupUnits(plan.Points[start:end], opts.NoBatch)
+		out, err := sweep.Map(ctx, units, func(ctx context.Context, unit []Point) ([]RowResult, error) {
+			return r.evalUnit(ctx, plan.Op, unit)
+		})
+		if err != nil {
+			return err
+		}
+		done++
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Shard:    done,
+				Shards:   shards,
+				RowsDone: end,
+				Rows:     n,
+			})
+		}
+		for _, rows := range out {
+			for i := range rows {
+				if err := emit(rows[i]); err != nil {
 					return err
 				}
 			}
-			return nil
-		})
+		}
+	}
+	return nil
+}
+
+// groupUnits splits a shard into batch units: maximal runs of consecutive
+// points that are batchable with their predecessor. With noBatch every
+// point is its own unit. Units are subslices — no points are copied.
+func groupUnits(points []Point, noBatch bool) [][]Point {
+	units := make([][]Point, 0, len(points))
+	for start := 0; start < len(points); {
+		end := start + 1
+		if !noBatch {
+			for end < len(points) && batchable(&points[end-1], &points[end]) {
+				end++
+			}
+		}
+		units = append(units, points[start:end])
+		start = end
+	}
+	return units
+}
+
+// batchable reports whether two adjacent rows differ only in their outage,
+// making them one axis-batch unit. Pointer receivers keep the hot grouping
+// loop from copying the config-bearing Point struct per comparison.
+func batchable(a, b *Point) bool {
+	return a.Servers == b.Servers &&
+		a.Workload == b.Workload &&
+		a.HasConfig == b.HasConfig &&
+		a.Config == b.Config &&
+		a.Family == b.Family &&
+		sameTechnique(a.Technique, b.Technique)
+}
+
+// sameTechnique reports whether two technique values are interchangeable
+// for batching: both nil (best rows), or the same comparable dynamic type
+// holding equal values. Non-comparable techniques never batch — the ==
+// below would panic on them.
+func sameTechnique(a, b technique.Technique) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
 }
 
 // Run is RunStream collecting every row.
@@ -135,6 +206,73 @@ func (r *Runner) Run(ctx context.Context, plan *Plan, opts RunOptions) ([]RowRes
 	})
 	if err != nil {
 		return nil, err
+	}
+	return rows, nil
+}
+
+// evalUnit evaluates one batch unit. Single-point units take the scalar
+// dispatch; longer units go through the axis-batched calls and fall back
+// to per-point scalar evaluation on any non-context error, so row-level
+// Err semantics are identical to the scalar path (a batch call validates
+// the whole axis up front and cannot say which rows are at fault).
+func (r *Runner) evalUnit(ctx context.Context, op string, pts []Point) ([]RowResult, error) {
+	rows := make([]RowResult, len(pts))
+	if len(pts) == 1 {
+		row, err := r.evalPoint(ctx, op, pts[0])
+		if err != nil {
+			return nil, err
+		}
+		rows[0] = row
+		return rows, nil
+	}
+
+	fw := r.framework(pts[0].Servers)
+	outages := make([]time.Duration, len(pts))
+	for i := range pts {
+		outages[i] = pts[i].Outage
+		rows[i].Point = pts[i]
+	}
+	var err error
+	switch op {
+	case OpSize:
+		var sz []core.SizingPoint
+		sz, err = fw.MinCostUPSAxisCtx(ctx, pts[0].Technique, pts[0].Workload, outages)
+		if err == nil {
+			for i := range rows {
+				rows[i].Sizing, rows[i].Feasible = sz[i].Op, sz[i].Feasible
+			}
+		}
+	case OpBest:
+		var best []core.BestPoint
+		best, err = fw.BestForConfigAxisCtx(ctx, pts[0].Config, pts[0].Workload, outages)
+		if err == nil {
+			for i := range rows {
+				rows[i].Result = best[i].Result
+				if best[i].Tech != nil {
+					rows[i].Best = best[i].Tech.Name()
+				}
+			}
+		}
+	default: // OpEvaluate
+		var res []cluster.Result
+		res, err = fw.EvaluateBatchCtx(ctx, pts[0].Config, pts[0].Technique, pts[0].Workload, outages)
+		if err == nil {
+			for i := range rows {
+				rows[i].Result = res[i]
+			}
+		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		for i, p := range pts {
+			row, perr := r.evalPoint(ctx, op, p)
+			if perr != nil {
+				return nil, perr
+			}
+			rows[i] = row
+		}
 	}
 	return rows, nil
 }

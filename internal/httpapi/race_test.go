@@ -43,6 +43,19 @@ func TestConcurrentRequestsDeterministic(t *testing.T) {
 		{"/v1/sweep", `{"spec":{"op":"size","workloads":["memcached"],` +
 			`"techniques":[{"name":"hibernate"},{"name":"throttling","pstate":6}],"outages":["5m","1h"]},` +
 			`"width":2,"shard_size":3}`},
+		// Dense outage axes exercise the batch kernel (consecutive rows
+		// differing only in outage collapse into one plan + segment walk);
+		// shard sizes that split axes mid-run probe unit clipping at shard
+		// boundaries under concurrency.
+		{"/v1/sweep", `{"spec":{"workloads":["web-search"],"configs":[{"name":"DG-SmallPUPS"}],` +
+			`"techniques":[{"name":"sleep"},{"name":"throttle-then-save","pstate":4,"save":"sleep"}],` +
+			`"outages":["30s","90s","5m","12m","30m","45m","1h","2h"]},"width":3,"shard_size":5}`},
+		{"/v1/sweep", `{"spec":{"op":"best","workloads":["specjbb"],` +
+			`"configs":[{"name":"MinCost"},{"name":"NoDG"}],` +
+			`"outages":["1m","10m","20m","40m","1h","3h","6h","8h"]},"width":4,"shard_size":6}`},
+		{"/v1/sweep", `{"spec":{"op":"size","workloads":["specjbb"],` +
+			`"techniques":[{"name":"sleep","low_power":true}],` +
+			`"outages":["5m","15m","30m","1h","90m","2h","4h","8h"]},"width":2,"shard_size":7}`},
 	}
 
 	// Serial baseline first: one canonical response per probe.

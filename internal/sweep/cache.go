@@ -28,6 +28,7 @@ type Cache[K comparable, V any] struct {
 
 type cacheEntry[V any] struct {
 	once sync.Once
+	done atomic.Bool // set inside once after val/err are written
 	val  V
 	err  error
 }
@@ -61,8 +62,30 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	} else {
 		c.misses.Add(1)
 	}
-	e.once.Do(func() { e.val, e.err = fn() })
+	e.once.Do(func() {
+		e.val, e.err = fn()
+		e.done.Store(true)
+	})
 	return e.val, e.err
+}
+
+// Peek returns the memoized result for key without computing anything:
+// ok is true only when a completed entry exists (an in-flight computation
+// is not joined — Peek never blocks). A successful Peek counts as a hit;
+// a miss is not counted, because peek-then-Do callers (the batch
+// evaluator splitting warm from cold points) report the miss through the
+// Do that seeds the entry, keeping the counters identical to the scalar
+// path's.
+func (c *Cache[K, V]) Peek(key K) (V, error, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok || !e.done.Load() {
+		var zero V
+		return zero, nil, false
+	}
+	c.hits.Add(1)
+	return e.val, e.err, true
 }
 
 // Len reports the number of cached keys (including in-flight ones).

@@ -1,0 +1,59 @@
+package technique
+
+// OutageInvariantPlanner is an optional capability a Technique declares
+// when its Plan output does not depend on the outage duration argument:
+// the same environment and workload always yield the same phases and
+// restore costs whatever outage is passed. The batch simulation kernel
+// (cluster.SimulateOutageBatch) relies on this declaration to construct
+// one plan and walk it once for a whole outage axis; techniques that do
+// not declare it are simulated per point.
+//
+// Declare it only when the invariance genuinely holds — the hybrid
+// families (ThrottleThenSave, MigrationThenSleep) scale their active
+// phase with the outage and therefore must NOT implement it.
+// TestOutageInvariantPlansAreInvariant cross-checks every declaring
+// technique by comparing plans across a spread of outages.
+type OutageInvariantPlanner interface {
+	// PlanOutageInvariant reports that Plan ignores its outage argument.
+	PlanOutageInvariant() bool
+}
+
+// PlanOutageInvariant reports whether t declares outage-invariant plans.
+func PlanOutageInvariant(t Technique) bool {
+	p, ok := t.(OutageInvariantPlanner)
+	return ok && p.PlanOutageInvariant()
+}
+
+// The shipped techniques whose plans provably ignore the outage duration:
+// their Plan bodies never read the outage argument. The two hybrids that
+// scale phases with the outage are deliberately absent.
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (Baseline) PlanOutageInvariant() bool { return true }
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (Throttling) PlanOutageInvariant() bool { return true }
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (Migration) PlanOutageInvariant() bool { return true }
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (Sleep) PlanOutageInvariant() bool { return true }
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (Hibernate) PlanOutageInvariant() bool { return true }
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (CappedThrottling) PlanOutageInvariant() bool { return true }
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (NVDIMM) PlanOutageInvariant() bool { return true }
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (NVDIMMThrottle) PlanOutageInvariant() bool { return true }
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (BarelyAlive) PlanOutageInvariant() bool { return true }
+
+// PlanOutageInvariant implements OutageInvariantPlanner.
+func (GeoFailover) PlanOutageInvariant() bool { return true }

@@ -1,0 +1,63 @@
+package technique
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"backuppower/internal/workload"
+)
+
+// invariantProbeTechniques enumerates one instance per declaring technique
+// plus the two hybrids that must NOT declare (their plans scale with the
+// outage).
+func invariantProbeTechniques() []Technique {
+	return []Technique{
+		Baseline{},
+		Throttling{PState: 3, TState: 1},
+		Migration{},
+		Migration{Proactive: true, ThrottleDeep: true},
+		Sleep{},
+		Sleep{LowPower: true},
+		Hibernate{},
+		Hibernate{Proactive: true, LowPower: true},
+		CappedThrottling{Budget: 5000},
+		NVDIMM{},
+		NVDIMMThrottle{PState: 4},
+		BarelyAlive{},
+		GeoFailover{},
+		GeoFailover{Save: SaveHibernate},
+		ThrottleThenSave{PState: 6, Save: SaveSleep, ActiveFraction: 0.5},
+		MigrationThenSleep{ActiveFraction: 0.5},
+	}
+}
+
+// TestOutageInvariantPlansAreInvariant cross-checks every technique's
+// declaration against its behavior: a declaring technique must produce
+// deeply equal plans at every probed outage, and a non-declaring shipped
+// technique must actually vary (otherwise it should declare and let the
+// batch kernel skip per-point planning).
+func TestOutageInvariantPlansAreInvariant(t *testing.T) {
+	env := DefaultEnv(16)
+	outages := []time.Duration{
+		30 * time.Second, 5 * time.Minute, 30 * time.Minute, time.Hour, 8 * time.Hour,
+	}
+	for _, w := range workload.All() {
+		for _, tech := range invariantProbeTechniques() {
+			base := tech.Plan(env, w, outages[0])
+			varies := false
+			for _, d := range outages[1:] {
+				if !reflect.DeepEqual(base, tech.Plan(env, w, d)) {
+					varies = true
+					break
+				}
+			}
+			if PlanOutageInvariant(tech) && varies {
+				t.Errorf("%s (%s): declares outage-invariant plans but the plan varies with the outage", tech.Name(), w.Name)
+			}
+			if !PlanOutageInvariant(tech) && !varies {
+				t.Errorf("%s (%s): plan is outage-invariant but the technique does not declare it", tech.Name(), w.Name)
+			}
+		}
+	}
+}

@@ -4,13 +4,13 @@ GO ?= go
 # micro-primitives the PR-2 fast path optimized, the end-to-end regen, and
 # the outage-axis batch kernel pairs (batch vs scalar, grid with the
 # kernel on vs off).
-BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|BenchmarkMinCostSizing|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkFullRegen|BenchmarkOutageBatch|BenchmarkOutageScalar|BenchmarkSizingOutage|BenchmarkGridOutageAxis
+BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|BenchmarkMinCostSizing|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkFullRegen|BenchmarkOutageBatch|BenchmarkOutageScalar|BenchmarkSizingOutage|BenchmarkGridOutageAxis|BenchmarkFabricSweep
 BENCH_COUNT   ?= 10
 BENCH_DIR     ?= .bench
 
-.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare batch-equivalence
+.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare batch-equivalence fabric-equivalence
 
-ci: vet build race race-httpapi cover bench-alloc bench-smoke batch-equivalence
+ci: vet build race race-httpapi cover bench-alloc bench-smoke batch-equivalence fabric-equivalence
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +76,19 @@ batch-equivalence:
 	$(GO) run ./cmd/gridrun $$spec -no-batch -parallel 4 -shard 5 -o $$tmp/scalar.ndjson && \
 	cmp $$tmp/batch.ndjson $$tmp/scalar.ndjson && \
 	echo "batch-equivalence: gridrun output identical with and without -no-batch" ; \
+	status=$$?; rm -rf $$tmp; exit $$status
+
+# Byte-equality smoke for the sweep fabric (PR 7): the same spec run
+# single-node through cmd/gridrun and sharded across three in-process
+# loopback backupd workers through cmd/sweepfront must merge to identical
+# NDJSON — the tentpole contract, checked end to end through real HTTP.
+fabric-equivalence:
+	@tmp=$$(mktemp -d); \
+	printf '%s' '{"servers":[16],"workloads":["specjbb","memcached"],"configs":[{"name":"MaxPerf"},{"name":"MinCost"},{"name":"NoDG"}],"techniques":[{"name":"baseline"},{"name":"throttling","pstate":3}],"outages":["30s","90s","5m","30m","1h"]}' > $$tmp/spec.json; \
+	$(GO) run ./cmd/gridrun -spec $$tmp/spec.json -parallel 1 -o $$tmp/single.ndjson && \
+	$(GO) run ./cmd/sweepfront -loopback 3 -shard-rows 5 -spec $$tmp/spec.json -o $$tmp/fabric.ndjson && \
+	cmp $$tmp/single.ndjson $$tmp/fabric.ndjson && \
+	echo "fabric-equivalence: 3-worker sweepfront output identical to single-node gridrun" ; \
 	status=$$?; rm -rf $$tmp; exit $$status
 
 bench:

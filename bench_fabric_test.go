@@ -1,0 +1,110 @@
+// Benchmarks for the distributed sweep fabric (PR 7): the same Fig-5
+// style grid through a pool of in-process loopback backupd workers (real
+// HTTP, real NDJSON streams, real merge) at 1/2/4 workers, against the
+// single-node runner as the baseline. Workers run at width 1 so measured
+// scaling comes from the worker axis alone; on a single core the fabric
+// can only show its coordination overhead, on a multi-core host the
+// worker counts spread across cores.
+package backuppower_test
+
+import (
+	"context"
+	"testing"
+
+	"backuppower/internal/core"
+	"backuppower/internal/fabric"
+	"backuppower/internal/grid"
+	"backuppower/internal/sweep"
+)
+
+// benchFabricSpec is the fabric benchmark's workload: 64 rows in 8
+// outage-batch units, enough shards to keep 4 workers busy.
+func benchFabricSpec() grid.Spec {
+	return grid.Spec{
+		Workloads: []string{"specjbb"},
+		Configs: []grid.ConfigDTO{
+			{Name: "MaxPerf"}, {Name: "MinCost"}, {Name: "NoDG"}, {Name: "LargeEUPS"},
+		},
+		Techniques: []grid.TechniqueDTO{{Name: "baseline"}, {Name: "sleep"}},
+		Outages:    []string{"30s", "90s", "5m", "12m", "30m", "45m", "1h", "2h"},
+	}
+}
+
+// rowCounter counts NDJSON lines without retaining them, so the merge
+// path is exercised but the benchmark does not measure buffer growth.
+type rowCounter struct{ rows int }
+
+func (c *rowCounter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		if b == '\n' {
+			c.rows++
+		}
+	}
+	return len(p), nil
+}
+
+func benchFabricSweep(b *testing.B, workers int) {
+	b.Helper()
+	urls, stop, err := fabric.Loopback(workers, fabric.LoopbackConfig{Servers: 16, Width: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	f, err := fabric.New(fabric.Options{
+		Workers:        urls,
+		ShardRows:      8, // one batch unit per shard: 8 shards over the pool
+		DefaultServers: 16,
+		WorkerWidth:    1,
+		HedgeAfter:     -1, // measure plain dispatch, not hedge timing noise
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := benchFabricSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ResetScenarioCache()
+		var out rowCounter
+		if err := f.Run(context.Background(), spec, &out); err != nil {
+			b.Fatal(err)
+		}
+		if out.rows != 64 {
+			b.Fatalf("rows = %d, want 64", out.rows)
+		}
+	}
+}
+
+func BenchmarkFabricSweep1Worker(b *testing.B)  { benchFabricSweep(b, 1) }
+func BenchmarkFabricSweep2Workers(b *testing.B) { benchFabricSweep(b, 2) }
+func BenchmarkFabricSweep4Workers(b *testing.B) { benchFabricSweep(b, 4) }
+
+// BenchmarkFabricSweepSingleNode is the same spec through the in-process
+// runner at width 1 — what one backupd does for the whole plan, and the
+// denominator for the fabric's scaling numbers.
+func BenchmarkFabricSweepSingleNode(b *testing.B) {
+	spec := benchFabricSpec()
+	plan, err := grid.Compile(spec, grid.CompileOptions{DefaultServers: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := grid.NewRunner(core.New(16))
+	ctx := sweep.WithWidth(context.Background(), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ResetScenarioCache()
+		rows := 0
+		err := r.RunStream(ctx, plan, grid.RunOptions{}, func(row grid.RowResult) error {
+			if row.Err != nil {
+				return row.Err
+			}
+			rows++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows != 64 {
+			b.Fatalf("rows = %d, want 64", rows)
+		}
+	}
+}

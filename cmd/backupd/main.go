@@ -33,6 +33,16 @@ import (
 	"backuppower/internal/httpapi"
 )
 
+// defaultWorkerID is the hostname when the kernel will give it up, else a
+// fixed placeholder — the flag exists so pool operators can pick stable
+// names, not so the default is globally unique.
+func defaultWorkerID() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "backupd"
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	servers := flag.Int("servers", 64, "number of servers in the modeled datacenter")
@@ -44,6 +54,8 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown grace for in-flight requests")
 	maxSweepRows := flag.Int("max-sweep-rows", grid.DefaultMaxRows,
 		"maximum rows one /v1/sweep grid may expand to")
+	workerID := flag.String("worker-id", defaultWorkerID(),
+		"identity echoed as X-Backupd-Worker on sweep responses (for sweepfront pools)")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/")
 	flag.Parse()
 
@@ -57,6 +69,7 @@ func main() {
 		Width:        *parallel,
 		EnablePprof:  *pprofOn,
 		MaxSweepRows: *maxSweepRows,
+		WorkerID:     *workerID,
 	})
 	if err != nil {
 		log.Fatalf("backupd: %v", err)

@@ -1,0 +1,260 @@
+// Command sweepfront is the distributed sweep coordinator: it compiles a
+// declarative grid spec (the same JSON cmd/gridrun and POST /v1/sweep
+// take), splits the plan into contiguous row-range shards, fans them out
+// over HTTP to a pool of backupd workers, and writes the merged NDJSON
+// stream to stdout — byte-identical to a single-node run of the same
+// spec, at any worker count and through worker failures.
+//
+//	# one-shot against a static pool
+//	sweepfront -workers http://a:8080,http://b:8080 -spec fig5.json
+//
+//	# three in-process loopback workers (no external daemons)
+//	sweepfront -loopback 3 -spec - < fig5.json
+//
+//	# serving frontend: forward /v1/sweep across the pool
+//	sweepfront -serve -addr :8081 -workers http://a:8080,http://b:8080
+//
+// -shard-rows sets the target shard size (cuts stay aligned to
+// outage-batch units), -max-inflight-per-worker the per-worker request
+// bound, -max-retries the re-dispatch budget per shard chain, and
+// -hedge-after the straggler hedge trigger (0 = adaptive from the
+// observed shard-latency median; negative disables hedging). None of
+// them changes the output bytes. -metrics-addr exposes the coordinator's
+// GET /metrics (shards dispatched/retried/hedged/cancelled, rows merged,
+// per-worker counters, p50/p99 shard latency) while a one-shot run is in
+// flight; serve mode always mounts /metrics.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"backuppower/internal/fabric"
+	"backuppower/internal/grid"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweepfront", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	workersFlag := fs.String("workers", "", "comma-separated backupd base URLs (the static worker pool)")
+	loopback := fs.Int("loopback", 0, "start N in-process loopback workers instead of -workers")
+	loopbackWidth := fs.Int("loopback-width", 0, "sweep width per loopback worker (0 = GOMAXPROCS, 1 = serial)")
+	servers := fs.Int("servers", 64, "default cluster size for specs without a servers axis (must match the workers')")
+	specPath := fs.String("spec", "", `JSON spec file ("-" = stdin); required unless -serve`)
+	shardRows := fs.Int("shard-rows", 0, "target rows per shard (0 = default; cuts stay batch-unit aligned)")
+	maxRetries := fs.Int("max-retries", 0, "re-dispatch budget per shard chain (0 = default, negative = none)")
+	maxInflight := fs.Int("max-inflight-per-worker", 0, "concurrent shard requests per worker (0 = default)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge straggler shards after this long (0 = adaptive, negative = off)")
+	width := fs.Int("width", 0, "per-request sweep width asked of workers (0 = worker default)")
+	timeout := fs.Duration("timeout", 0, "overall run deadline (0 = none)")
+	out := fs.String("o", "", "write merged NDJSON to a file instead of stdout")
+	metricsAddr := fs.String("metrics-addr", "", "also serve GET /metrics on this address during the run")
+	serve := fs.Bool("serve", false, "run as a serving frontend: POST /v1/sweep fans out across the pool")
+	addr := fs.String("addr", ":8081", "listen address for -serve")
+	verbose := fs.Bool("verbose", false, "print the metrics document to stderr when a one-shot run finishes")
+
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var workerURLs []string
+	var stopPool func()
+	switch {
+	case *loopback > 0 && *workersFlag != "":
+		fmt.Fprintln(stderr, "sweepfront: give either -workers or -loopback, not both")
+		return 2
+	case *loopback > 0:
+		var err error
+		workerURLs, stopPool, err = fabric.Loopback(*loopback, fabric.LoopbackConfig{
+			Servers: *servers,
+			Width:   *loopbackWidth,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "sweepfront: %v\n", err)
+			return 1
+		}
+		defer stopPool()
+	default:
+		for _, u := range strings.Split(*workersFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workerURLs = append(workerURLs, u)
+			}
+		}
+		if len(workerURLs) == 0 {
+			fmt.Fprintln(stderr, "sweepfront: -workers or -loopback is required")
+			return 2
+		}
+	}
+
+	f, err := fabric.New(fabric.Options{
+		Workers:              workerURLs,
+		ShardRows:            *shardRows,
+		MaxRetries:           *maxRetries,
+		MaxInflightPerWorker: *maxInflight,
+		HedgeAfter:           *hedgeAfter,
+		DefaultServers:       *servers,
+		WorkerWidth:          *width,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "sweepfront: %v\n", err)
+		return 2
+	}
+
+	if *serve {
+		return serveMode(f, *addr, stderr)
+	}
+
+	if *specPath == "" {
+		fmt.Fprintln(stderr, "sweepfront: -spec is required (or use -serve)")
+		return 2
+	}
+	var spec grid.Spec
+	if err := readSpec(*specPath, &spec); err != nil {
+		fmt.Fprintf(stderr, "sweepfront: %v\n", err)
+		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", f.Metrics())
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go msrv.ListenAndServe()
+		defer msrv.Close()
+	}
+
+	w := io.Writer(stdout)
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "sweepfront: %v\n", err)
+			return 1
+		}
+		defer of.Close()
+		w = of
+	}
+
+	if err := f.Run(ctx, spec, w); err != nil {
+		fmt.Fprintf(stderr, "sweepfront: %v\n", err)
+		var fe *grid.FieldError
+		if errors.As(err, &fe) {
+			return 2
+		}
+		return 1
+	}
+	if *verbose {
+		f.Metrics().Write(stderr)
+	}
+	return 0
+}
+
+// serveMode runs the coordinator as a long-lived frontend: POST /v1/sweep
+// decodes the same body backupd takes (spec plus optional timeout; width
+// is forwarded to workers) and streams the merged NDJSON back.
+func serveMode(f *fabric.Fabric, addr string, stderr io.Writer) int {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Spec    grid.Spec `json:"spec"`
+			Timeout string    `json:"timeout,omitempty"`
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":{"code":"invalid_json","message":%q}}`, err.Error()), http.StatusBadRequest)
+			return
+		}
+		ctx := r.Context()
+		if req.Timeout != "" {
+			d, err := time.ParseDuration(req.Timeout)
+			if err != nil || d <= 0 {
+				http.Error(w, `{"error":{"code":"invalid_duration","field":"timeout"}}`, http.StatusBadRequest)
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		flusher, _ := w.(http.Flusher)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		if err := f.Run(ctx, req.Spec, w); err != nil {
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": map[string]string{"code": "fabric_failed", "message": err.Error()},
+			})
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	mux.Handle("GET /metrics", f.Metrics())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sweepfront: serving /v1/sweep on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "sweepfront: %v\n", err)
+		return 1
+	case <-ctx.Done():
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+		return 0
+	}
+}
+
+// readSpec strictly decodes a spec file (stdin for "-"), exactly as
+// cmd/gridrun does: unknown fields and trailing data are rejected.
+func readSpec(path string, spec *grid.Spec) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return errors.New("spec: trailing data after JSON document")
+	}
+	return nil
+}

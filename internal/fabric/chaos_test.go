@@ -1,0 +1,130 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosMid wraps a real backupd handler so the next `kills` sweep
+// requests die mid-stream: the full shard response is rendered into a
+// recorder, the first half of its lines are written and flushed, and then
+// the connection is torn down — exactly what a worker crash looks like to
+// the coordinator. Later requests (the re-dispatches) pass through clean.
+func chaosMid(kills *atomic.Int32) func(int, http.Handler) http.Handler {
+	return func(_ int, inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/v1/sweep" || kills.Add(-1) < 0 {
+				inner.ServeHTTP(w, r)
+				return
+			}
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				panic(http.ErrAbortHandler)
+			}
+			r2 := r.Clone(r.Context())
+			r2.Body = io.NopCloser(bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r2)
+			if rec.Code != http.StatusOK {
+				// Not a stream (a 4xx/429): forward it untouched and let
+				// the kill budget apply to a later streaming request.
+				kills.Add(1)
+				for k, vs := range rec.Header() {
+					w.Header()[k] = vs
+				}
+				w.WriteHeader(rec.Code)
+				w.Write(rec.Body.Bytes())
+				return
+			}
+			lines := bytes.SplitAfter(rec.Body.Bytes(), []byte("\n"))
+			for k, vs := range rec.Header() {
+				w.Header()[k] = vs
+			}
+			w.WriteHeader(http.StatusOK)
+			for i := 0; i < len(lines)/2; i++ {
+				w.Write(lines[i])
+			}
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler) // kill the connection mid-shard
+		})
+	}
+}
+
+// TestFabricSurvivesWorkerDeathMidShard is the chaos satellite: a worker
+// dies partway through streaming a shard — after its rows have started
+// arriving — and the merged output must still be byte-identical to the
+// single-node run. Repeated across worker counts and seeds (which vary
+// how many kills land and on which shards), including back-to-back kills
+// that push a worker into quarantine.
+func TestFabricSurvivesWorkerDeathMidShard(t *testing.T) {
+	spec := testSpec()
+	want := singleNodeNDJSON(t, spec)
+	for _, workers := range []int{1, 2, 3} {
+		for seed := 0; seed < 4; seed++ {
+			t.Run(fmt.Sprintf("workers=%d/seed=%d", workers, seed), func(t *testing.T) {
+				var kills atomic.Int32
+				kills.Store(int32(1 + seed)) // 1..4 mid-stream deaths per run
+				urls := newWorkers(t, workers, chaosMid(&kills))
+				f, err := New(Options{
+					Workers:    urls,
+					ShardRows:  1 + seed, // vary shard geometry with the seed
+					HedgeAfter: -1,       // isolate re-dispatch from hedging
+					MaxRetries: 8,        // enough budget for every kill to land on one chain
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Swallow backoff waits; the kills make retries mandatory
+				// and the schedule is covered elsewhere.
+				f.opt.sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+				var got bytes.Buffer
+				if err := f.Run(t.Context(), spec, &got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want) {
+					t.Fatalf("merged stream diverged from single node after %d mid-shard deaths", 1+seed)
+				}
+				if f.Metrics().shardsRetried.Value() == 0 && kills.Load() < int32(1+seed) {
+					t.Fatal("a kill landed but no retry was recorded")
+				}
+			})
+		}
+	}
+}
+
+// TestFabricHedgedChaos runs the same mid-shard deaths with hedging armed
+// and retries disabled: recovery must come from hedge chains alone, and
+// the bytes must still match.
+func TestFabricHedgedChaos(t *testing.T) {
+	spec := testSpec()
+	want := singleNodeNDJSON(t, spec)
+	var kills atomic.Int32
+	kills.Store(2)
+	urls := newWorkers(t, 3, chaosMid(&kills))
+	f, err := New(Options{
+		Workers:    urls,
+		ShardRows:  6,
+		HedgeAfter: time.Millisecond,
+		MaxRetries: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.opt.sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	var got bytes.Buffer
+	if err := f.Run(t.Context(), spec, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("merged stream diverged from single node under hedged chaos")
+	}
+}

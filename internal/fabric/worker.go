@@ -1,0 +1,132 @@
+package fabric
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// worker is one pool member's scheduling state. All fields are guarded by
+// the pool's mutex.
+type worker struct {
+	url string
+
+	// inflight counts shard requests currently running against the
+	// worker; outstanding is their total remaining rows — the weight the
+	// scheduler balances, so a worker grinding through one oversized
+	// shard is not also handed three small ones while an idle peer waits.
+	inflight    int
+	outstanding int
+
+	// consecFails drives the failure detector: QuarantineAfter
+	// consecutive failed attempts sideline the worker until
+	// quarantinedUntil. Quarantine is a preference, not a wall — a pool
+	// with every member quarantined still dispatches to the least-bad one.
+	consecFails      int
+	quarantinedUntil time.Time
+}
+
+// pool schedules shard attempts over the static worker set: bounded
+// inflight per worker, least-outstanding-rows (weighted) selection, and
+// quarantine of flapping members. acquire blocks while every worker is at
+// its inflight bound, which is what makes the fabric's total concurrency
+// workers × MaxInflightPerWorker.
+type pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	workers         []*worker
+	maxInflight     int
+	quarantineAfter int
+	quarantineFor   time.Duration
+}
+
+func newPool(urls []string, maxInflight, quarantineAfter int, quarantineFor time.Duration) *pool {
+	p := &pool{
+		maxInflight:     maxInflight,
+		quarantineAfter: quarantineAfter,
+		quarantineFor:   quarantineFor,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for _, u := range urls {
+		p.workers = append(p.workers, &worker{url: u})
+	}
+	return p
+}
+
+// acquire picks the best available worker for a rows-row attempt and
+// reserves a slot on it: healthy before quarantined, then least
+// outstanding rows, then pool order (deterministic tie-break). avoid, when
+// possible, excludes the worker a previous attempt just failed on — a
+// retry or hedge should land somewhere else if anywhere else exists. It
+// blocks until a slot frees or ctx is cancelled.
+func (p *pool) acquire(ctx context.Context, rows int, avoid *worker) (*worker, error) {
+	// A blocked acquire wakes on slot release via the cond; cancellation
+	// must wake it too, which a cond cannot see — hence the watcher.
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.mu.Unlock()
+		p.cond.Broadcast()
+	})
+	defer stop()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if w := p.pick(avoid); w != nil {
+			w.inflight++
+			w.outstanding += rows
+			return w, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// pick returns the best worker with a free slot under the lock, or nil.
+func (p *pool) pick(avoid *worker) *worker {
+	now := time.Now()
+	var best *worker
+	bestScore := 0
+	for _, w := range p.workers {
+		if w.inflight >= p.maxInflight || (w == avoid && len(p.workers) > 1) {
+			continue
+		}
+		// Quarantined workers sort strictly after every healthy one.
+		score := w.outstanding
+		if now.Before(w.quarantinedUntil) {
+			score += 1 << 30
+		}
+		if best == nil || score < bestScore {
+			best, bestScore = w, score
+		}
+	}
+	if best == nil && avoid != nil {
+		// Everyone else is full; the avoided worker is better than blocking.
+		if avoid.inflight < p.maxInflight {
+			return avoid
+		}
+	}
+	return best
+}
+
+// release returns an attempt's slot and feeds the failure detector: a
+// success clears the worker's strike count, a failure adds one and
+// quarantines the worker once it hits the threshold.
+func (p *pool) release(w *worker, rows int, ok bool) {
+	p.mu.Lock()
+	w.inflight--
+	w.outstanding -= rows
+	if ok {
+		w.consecFails = 0
+	} else {
+		w.consecFails++
+		if w.consecFails >= p.quarantineAfter {
+			w.quarantinedUntil = time.Now().Add(p.quarantineFor)
+		}
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}

@@ -1,0 +1,88 @@
+package grid
+
+// Shard planning: the API the distributed sweep fabric (internal/fabric,
+// cmd/sweepfront) uses to split one compiled plan into contiguous
+// row-range shards that workers execute independently. Two properties
+// carry the whole design:
+//
+//   - Contiguity in plan order. A shard is a half-open [Start, End) span
+//     of the plan's surviving rows, so concatenating shard outputs in
+//     Start order reproduces the single-node row stream byte for byte —
+//     the merge step is ordering, not recomputation.
+//
+//   - Batch-unit alignment. Cuts never split a run of consecutive rows
+//     that differ only in their outage (the PR-6 batch units), so a
+//     worker evaluating a shard sees the same units a single-node run
+//     would and the outage-axis kernel stays fully effective inside
+//     every shard.
+//
+// A RowRange is also the resume token: when a worker dies after
+// streaming a validated prefix of its shard, the coordinator re-dispatches
+// the narrower range [watermark, End) — same spec, same plan, fewer rows —
+// which is why the range rides the wire (POST /v1/sweep "row_range")
+// instead of living only in coordinator memory.
+
+// RowRange is a half-open, contiguous span [Start, End) of a compiled
+// plan's rows, identified by their Point.Index values. It is the unit of
+// distribution for the sweep fabric and the wire shape of a shard
+// (and of a mid-shard resume after a worker failure).
+type RowRange struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Rows is the number of rows the range spans.
+func (r RowRange) Rows() int { return r.End - r.Start }
+
+// DefaultShardRows is the target shard size when a caller does not say
+// otherwise: big enough that per-shard HTTP and plan-compile overhead is
+// amortized over many rows, small enough that a typical figure grid
+// still splits across a handful of workers.
+const DefaultShardRows = 64
+
+// Shards splits the plan into contiguous row ranges of about shardRows
+// rows each (0 or negative means DefaultShardRows), covering every row
+// exactly once, in order. Cut points are aligned to batch-unit
+// boundaries: a maximal run of consecutive rows that differ only in
+// outage always lands in one shard, so the outage-axis batch kernel is
+// as effective per shard as it is on a single node. A unit longer than
+// shardRows becomes one oversized shard rather than being split.
+func (p *Plan) Shards(shardRows int) []RowRange {
+	if shardRows <= 0 {
+		shardRows = DefaultShardRows
+	}
+	n := len(p.Points)
+	if n == 0 {
+		return nil
+	}
+	units := groupUnits(p.Points, false)
+	shards := make([]RowRange, 0, (n+shardRows-1)/shardRows)
+	cur := RowRange{Start: p.Points[0].Index}
+	cur.End = cur.Start
+	for _, unit := range units {
+		unitEnd := unit[len(unit)-1].Index + 1
+		if cur.End > cur.Start && unitEnd-cur.Start > shardRows {
+			shards = append(shards, cur)
+			cur = RowRange{Start: cur.End, End: cur.End}
+		}
+		cur.End = unitEnd
+	}
+	if cur.End > cur.Start {
+		shards = append(shards, cur)
+	}
+	return shards
+}
+
+// Slice returns the sub-plan covering r: the same op over the shared
+// backing rows, indices preserved (a sliced row keeps the Index the full
+// plan gave it, which is what keeps shard outputs mergeable and lets the
+// coordinator validate stream contiguity). The range must lie inside the
+// plan and be non-empty; violations are typed *FieldError rejections so
+// the HTTP surface maps them to a 400 like any other bad request field.
+func (p *Plan) Slice(r RowRange) (*Plan, error) {
+	if r.Start < 0 || r.End > len(p.Points) || r.Start >= r.End {
+		return nil, fieldErrf("out_of_range", "row_range",
+			"row range [%d, %d) outside the plan's %d rows", r.Start, r.End, len(p.Points))
+	}
+	return &Plan{Op: p.Op, Points: p.Points[r.Start:r.End]}, nil
+}

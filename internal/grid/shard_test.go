@@ -1,0 +1,181 @@
+package grid
+
+import (
+	"testing"
+
+	"backuppower/internal/core"
+)
+
+// fig59Spec is a representative Fig 5–9 style grid: several configs with
+// a dense outage axis, so the plan contains real batch units.
+func fig59Spec() Spec {
+	return Spec{
+		Op:        OpEvaluate,
+		Workloads: []string{"specjbb"},
+		Configs: []ConfigDTO{
+			{Name: "MaxPerf"}, {Name: "MinCost"}, {Name: "NoDG"}, {Name: "LargeEUPS"},
+		},
+		Techniques: []TechniqueDTO{{Name: "baseline"}},
+		Outages:    []string{"30s", "90s", "5m", "12m", "30m", "45m", "1h", "2h"},
+	}
+}
+
+func mustCompile(t *testing.T, spec Spec) *Plan {
+	t.Helper()
+	plan, err := Compile(spec, CompileOptions{DefaultServers: 8})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return plan
+}
+
+// TestShardsCoverPlanExactly pins the partition property: for any target
+// shard size, the shard list tiles [0, rows) contiguously in order with
+// no gap, overlap, or empty shard.
+func TestShardsCoverPlanExactly(t *testing.T) {
+	plan := mustCompile(t, fig59Spec())
+	for _, rows := range []int{1, 2, 3, 5, 7, 8, 16, 31, 32, 1000} {
+		shards := plan.Shards(rows)
+		next := 0
+		for i, sh := range shards {
+			if sh.Start != next {
+				t.Fatalf("shardRows=%d: shard %d starts at %d, want %d", rows, i, sh.Start, next)
+			}
+			if sh.Rows() <= 0 {
+				t.Fatalf("shardRows=%d: shard %d is empty (%+v)", rows, i, sh)
+			}
+			next = sh.End
+		}
+		if next != len(plan.Points) {
+			t.Fatalf("shardRows=%d: shards end at %d, plan has %d rows", rows, next, len(plan.Points))
+		}
+	}
+}
+
+// TestShardsAlignToBatchUnits pins the perf-critical alignment: a run of
+// consecutive rows differing only in outage (one PR-6 batch unit) never
+// spans a shard cut, for any shard size — so every worker sees whole
+// units and the outage-axis kernel stays fully effective per shard.
+func TestShardsAlignToBatchUnits(t *testing.T) {
+	plan := mustCompile(t, fig59Spec())
+	for _, rows := range []int{1, 2, 3, 5, 7, 13, 64} {
+		for _, sh := range plan.Shards(rows) {
+			if sh.Start > 0 && batchable(&plan.Points[sh.Start-1], &plan.Points[sh.Start]) {
+				t.Fatalf("shardRows=%d: cut at row %d splits a batch unit", rows, sh.Start)
+			}
+		}
+	}
+}
+
+// TestShardsOversizedUnit: a unit longer than the target becomes one
+// oversized shard rather than being split.
+func TestShardsOversizedUnit(t *testing.T) {
+	spec := fig59Spec()
+	spec.Configs = spec.Configs[:1] // one unit of 8 outage rows
+	plan := mustCompile(t, spec)
+	shards := plan.Shards(3)
+	if len(shards) != 1 {
+		t.Fatalf("expected one oversized shard, got %d: %+v", len(shards), shards)
+	}
+	if shards[0].Rows() != len(plan.Points) {
+		t.Fatalf("oversized shard covers %d rows, want %d", shards[0].Rows(), len(plan.Points))
+	}
+}
+
+func TestShardsEmptyPlan(t *testing.T) {
+	plan := &Plan{Op: OpEvaluate}
+	if got := plan.Shards(8); got != nil {
+		t.Fatalf("empty plan should shard to nil, got %+v", got)
+	}
+}
+
+// TestSliceKeepsIndices: slicing preserves each row's full-plan index —
+// the property shard merging and stream validation depend on.
+func TestSliceKeepsIndices(t *testing.T) {
+	plan := mustCompile(t, fig59Spec())
+	sub, err := plan.Slice(RowRange{Start: 9, End: 17})
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if sub.Op != plan.Op {
+		t.Fatalf("Slice dropped the op: %q", sub.Op)
+	}
+	if len(sub.Points) != 8 {
+		t.Fatalf("Slice has %d rows, want 8", len(sub.Points))
+	}
+	for i, p := range sub.Points {
+		if p.Index != 9+i {
+			t.Fatalf("sliced row %d has index %d, want %d", i, p.Index, 9+i)
+		}
+	}
+}
+
+func TestSliceRejectsBadRanges(t *testing.T) {
+	plan := mustCompile(t, fig59Spec())
+	n := len(plan.Points)
+	for _, r := range []RowRange{
+		{Start: -1, End: 1},
+		{Start: 0, End: n + 1},
+		{Start: 3, End: 3},
+		{Start: 5, End: 2},
+	} {
+		if _, err := plan.Slice(r); err == nil {
+			t.Errorf("Slice(%+v) accepted an invalid range", r)
+		} else if fe, ok := err.(*FieldError); !ok || fe.Field != "row_range" {
+			t.Errorf("Slice(%+v) error %v is not a row_range FieldError", r, err)
+		}
+	}
+}
+
+// TestShardedRunMatchesWhole: running each shard's sub-plan and
+// concatenating the rows reproduces the whole-plan run — same rows, same
+// order, same indices — for several shard sizes. This is the in-process
+// form of the fabric's merge contract.
+func TestShardedRunMatchesWhole(t *testing.T) {
+	spec := fig59Spec()
+	spec.Outages = spec.Outages[:4] // keep the runtime modest
+	plan := mustCompile(t, spec)
+	runner := NewRunner(core.New(8))
+	ctx := t.Context()
+	whole, err := runner.Run(ctx, plan, RunOptions{})
+	if err != nil {
+		t.Fatalf("whole run: %v", err)
+	}
+	for _, rows := range []int{1, 3, 5, 100} {
+		var merged []RowResult
+		for _, sh := range plan.Shards(rows) {
+			sub, err := plan.Slice(sh)
+			if err != nil {
+				t.Fatalf("Slice(%+v): %v", sh, err)
+			}
+			part, err := runner.Run(ctx, sub, RunOptions{})
+			if err != nil {
+				t.Fatalf("shard %+v run: %v", sh, err)
+			}
+			merged = append(merged, part...)
+		}
+		if len(merged) != len(whole) {
+			t.Fatalf("shardRows=%d: merged %d rows, want %d", rows, len(merged), len(whole))
+		}
+		for i := range merged {
+			if merged[i].Point.Index != whole[i].Point.Index {
+				t.Fatalf("shardRows=%d: row %d has index %d, want %d",
+					rows, i, merged[i].Point.Index, whole[i].Point.Index)
+			}
+			if merged[i].Result != whole[i].Result {
+				t.Fatalf("shardRows=%d: row %d result differs from whole-plan run", rows, i)
+			}
+		}
+	}
+}
+
+// TestDefaultShardRows just pins the default so a silent change shows up.
+func TestDefaultShardRows(t *testing.T) {
+	if DefaultShardRows != 64 {
+		t.Fatalf("DefaultShardRows = %d, want 64", DefaultShardRows)
+	}
+	plan := mustCompile(t, fig59Spec())
+	if got, want := plan.Shards(0), plan.Shards(DefaultShardRows); len(got) != len(want) {
+		t.Fatalf("Shards(0) made %d shards, Shards(default) %d", len(got), len(want))
+	}
+}

@@ -61,6 +61,11 @@ type Config struct {
 	// (before filtering). Default grid.DefaultMaxRows; a request's own
 	// max_rows can tighten but never exceed it.
 	MaxSweepRows int
+
+	// WorkerID, when set, is echoed on sweep responses as the
+	// X-Backupd-Worker header so a fabric coordinator (cmd/sweepfront)
+	// can attribute shard streams to pool members in its metrics.
+	WorkerID string
 }
 
 // Server is the HTTP serving surface over one shared framework.

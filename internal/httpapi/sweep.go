@@ -3,6 +3,7 @@ package httpapi
 import (
 	"io"
 	"net/http"
+	"strconv"
 
 	"backuppower/internal/grid"
 )
@@ -22,6 +23,14 @@ type SweepRequest struct {
 	// ShardSize batches row emission (0 = server default); it never
 	// changes row values or order.
 	ShardSize int `json:"shard_size,omitempty"`
+	// RowRange restricts execution to the half-open [start, end) span of
+	// the compiled plan's rows — the shard-execution form the sweep
+	// fabric (cmd/sweepfront) uses to fan one plan out across a worker
+	// pool, and its resume token after a mid-shard worker failure. Rows
+	// keep the indices the full plan gave them, so the coordinator can
+	// validate stream contiguity and merge shards byte-identically to a
+	// single-node run. Absent means the whole plan.
+	RowRange *grid.RowRange `json:"row_range,omitempty"`
 }
 
 // DecodeSweepRequest strictly decodes a SweepRequest body. Exported so
@@ -69,6 +78,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, asAPIError(err))
 		return
 	}
+	planRows := len(plan.Points)
+	if req.RowRange != nil {
+		plan, err = plan.Slice(*req.RowRange)
+		if err != nil {
+			writeError(w, asAPIError(err))
+			return
+		}
+	}
 
 	if !s.acquire() {
 		writeSaturated(w)
@@ -87,6 +104,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// distinguishable from rows by its "error" object).
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Identity and extent headers for the fabric coordinator: which
+	// worker answered, how many rows this response will stream, and how
+	// many rows the full plan has (so a sharded caller can sanity-check
+	// that every worker compiled the same plan).
+	if s.cfg.WorkerID != "" {
+		w.Header().Set("X-Backupd-Worker", s.cfg.WorkerID)
+	}
+	w.Header().Set("X-Sweep-Rows", strconv.Itoa(len(plan.Points)))
+	w.Header().Set("X-Sweep-Plan-Rows", strconv.Itoa(planRows))
 	w.WriteHeader(http.StatusOK)
 
 	runErr := s.runner.RunStream(ctx, plan, grid.RunOptions{

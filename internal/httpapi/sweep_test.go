@@ -173,6 +173,62 @@ func TestSweepSaturationReturns429(t *testing.T) {
 	}
 }
 
+// TestSweepRowRange pins the shard-execution contract the fabric
+// coordinator relies on: a row_range request streams exactly the
+// requested lines of the full stream — same bytes, same indices — and
+// carries the identity/extent headers.
+func TestSweepRowRange(t *testing.T) {
+	_, ts := newTestServer(t, func(cfg *Config) *Server {
+		cfg.WorkerID = "w-test"
+		return nil
+	})
+	resp, full := post(t, ts.URL+"/v1/sweep", sweepBody(``))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full sweep status %d: %s", resp.StatusCode, full)
+	}
+	if got := resp.Header.Get("X-Backupd-Worker"); got != "w-test" {
+		t.Fatalf("X-Backupd-Worker = %q, want w-test", got)
+	}
+	if got := resp.Header.Get("X-Sweep-Plan-Rows"); got != "24" {
+		t.Fatalf("X-Sweep-Plan-Rows = %q, want 24", got)
+	}
+	lines := strings.SplitAfter(string(full), "\n")
+
+	for _, r := range [][2]int{{0, 24}, {0, 1}, {2, 5}, {23, 24}, {5, 24}} {
+		body := sweepBody(fmt.Sprintf(`"row_range":{"start":%d,"end":%d}`, r[0], r[1]))
+		resp, part := post(t, ts.URL+"/v1/sweep", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("range %v status %d: %s", r, resp.StatusCode, part)
+		}
+		if got, want := resp.Header.Get("X-Sweep-Rows"), fmt.Sprintf("%d", r[1]-r[0]); got != want {
+			t.Fatalf("range %v X-Sweep-Rows = %q, want %q", r, got, want)
+		}
+		want := strings.Join(lines[r[0]:r[1]], "")
+		if string(part) != want {
+			t.Fatalf("range %v stream differs from the full stream's slice:\ngot:\n%s\nwant:\n%s",
+				r, part, want)
+		}
+	}
+}
+
+// TestSweepRowRangeValidation: out-of-plan and empty ranges are typed
+// 400s, decided before the stream starts.
+func TestSweepRowRangeValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, rr := range []string{
+		`{"start":-1,"end":2}`, `{"start":0,"end":25}`, `{"start":7,"end":7}`, `{"start":9,"end":3}`,
+	} {
+		resp, b := post(t, ts.URL+"/v1/sweep", sweepBody(`"row_range":`+rr))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("row_range %s: status %d: %s", rr, resp.StatusCode, b)
+		}
+		var eb ErrorBody
+		if err := json.Unmarshal(b, &eb); err != nil || eb.Error.Code != "out_of_range" || eb.Error.Field != "row_range" {
+			t.Fatalf("row_range %s: unexpected rejection: %s", rr, b)
+		}
+	}
+}
+
 // TestGoldenSweep pins one representative NDJSON row stream per op to a
 // committed golden file, with each line canonicalized the way the other
 // endpoint goldens are. Regenerate with `go test ./internal/httpapi -update`.

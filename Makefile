@@ -8,9 +8,9 @@ BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|
 BENCH_COUNT   ?= 10
 BENCH_DIR     ?= .bench
 
-.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare batch-equivalence fabric-equivalence
+.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare batch-equivalence fabric-equivalence vulture-smoke
 
-ci: vet build race race-httpapi cover bench-alloc bench-smoke batch-equivalence fabric-equivalence
+ci: vet build race race-httpapi cover bench-alloc bench-smoke batch-equivalence fabric-equivalence vulture-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,10 +30,12 @@ race:
 race-httpapi:
 	$(GO) test -race -count=1 ./internal/httpapi
 
-# Coverage report plus a floor for the grid package: the declarative
-# sweep layer is the trunk every surface (HTTP, CLI, figures) routes
-# through, so its statement coverage must stay at or above 85%.
+# Coverage report plus per-package floors: the grid package is the trunk
+# every surface (HTTP, CLI, figures) routes through, so its statement
+# coverage must stay at or above 85%; the fabric is the distributed
+# serving path the vulture leans on, floored at 75%.
 COVER_FLOOR := 85.0
+FABRIC_COVER_FLOOR := 75.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/grid/
 	@$(GO) tool cover -func=cover.out | tail -1
@@ -41,6 +43,12 @@ cover:
 	awk -v got="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
 		if (got+0 < floor+0) { printf "internal/grid coverage %.1f%% is below the %.1f%% floor\n", got, floor; exit 1 } \
 		printf "internal/grid coverage %.1f%% meets the %.1f%% floor\n", got, floor }'
+	$(GO) test -coverprofile=cover.out ./internal/fabric/
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v got="$$total" -v floor="$(FABRIC_COVER_FLOOR)" 'BEGIN { \
+		if (got+0 < floor+0) { printf "internal/fabric coverage %.1f%% is below the %.1f%% floor\n", got, floor; exit 1 } \
+		printf "internal/fabric coverage %.1f%% meets the %.1f%% floor\n", got, floor }'
 	@rm -f cover.out
 
 # Short live-fuzz runs of every fuzz target (the committed seed corpora
@@ -51,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeSweepRequest -fuzztime=$(FUZZTIME) ./internal/httpapi
 	$(GO) test -fuzz=FuzzParsePower -fuzztime=$(FUZZTIME) ./internal/units
 	$(GO) test -fuzz=FuzzParseDuration -fuzztime=$(FUZZTIME) ./internal/units
+	$(GO) test -fuzz=FuzzRandomSpecCompiles -fuzztime=$(FUZZTIME) ./internal/grid
 
 # Allocation-regression gate: the aggregate simulation path and the sizing
 # inner loop must stay heap-allocation-free (see internal/cluster/alloc_test.go).
@@ -90,6 +99,17 @@ fabric-equivalence:
 	cmp $$tmp/single.ndjson $$tmp/fabric.ndjson && \
 	echo "fabric-equivalence: 3-worker sweepfront output identical to single-node gridrun" ; \
 	status=$$?; rm -rf $$tmp; exit $$status
+
+# Deterministic continuous-verification smoke (PR 8): cmd/vulture
+# generates seeded-random specs against in-process loopback targets and
+# runs all three checks (byte equality vs a local evaluation, the
+# metamorphic invariants, /metrics deltas) plus a short rate-limited load
+# phase under a generous tail-latency budget. Both target kinds are
+# exercised: a single backupd worker and a 3-worker sweepfront fabric.
+# Long soaks stay manual: `go run ./cmd/vulture -loopback 1 -duration 1h`.
+vulture-smoke:
+	$(GO) run ./cmd/vulture -loopback 1 -seed 7 -specs 6 -load-requests 32 -concurrency 4 -slo-p999 30s -max-error-rate 0
+	$(GO) run ./cmd/vulture -loopback 3 -seed 11 -specs 4 -load-requests 16 -concurrency 4 -slo-p999 30s -max-error-rate 0
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -170,52 +170,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// serveMode runs the coordinator as a long-lived frontend: POST /v1/sweep
-// decodes the same body backupd takes (spec plus optional timeout; width
-// is forwarded to workers) and streams the merged NDJSON back.
+// serveMode runs the coordinator as a long-lived frontend, mounting
+// fabric.Handler: POST /v1/sweep decodes the same body backupd takes
+// (spec plus optional timeout; width is forwarded to workers) and
+// streams the merged NDJSON back.
 func serveMode(f *fabric.Fabric, addr string, stderr io.Writer) int {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Spec    grid.Spec `json:"spec"`
-			Timeout string    `json:"timeout,omitempty"`
-		}
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			http.Error(w, fmt.Sprintf(`{"error":{"code":"invalid_json","message":%q}}`, err.Error()), http.StatusBadRequest)
-			return
-		}
-		ctx := r.Context()
-		if req.Timeout != "" {
-			d, err := time.ParseDuration(req.Timeout)
-			if err != nil || d <= 0 {
-				http.Error(w, `{"error":{"code":"invalid_duration","field":"timeout"}}`, http.StatusBadRequest)
-				return
-			}
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, d)
-			defer cancel()
-		}
-		flusher, _ := w.(http.Flusher)
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		if err := f.Run(ctx, req.Spec, w); err != nil {
-			json.NewEncoder(w).Encode(map[string]any{
-				"error": map[string]string{"code": "fabric_failed", "message": err.Error()},
-			})
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-	})
-	mux.Handle("GET /metrics", f.Metrics())
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.Write([]byte(`{"status":"ok"}` + "\n"))
-	})
-
-	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Addr: addr, Handler: f.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

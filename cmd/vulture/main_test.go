@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"backuppower/internal/fabric"
+)
+
+func runVulture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	t.Logf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	return code, stdout.String(), stderr.String()
+}
+
+// The deterministic smoke against a single in-process backupd worker:
+// all three checks plus the load phase and SLO gate, exit 0.
+func TestVultureLoopbackBackupd(t *testing.T) {
+	code, stdout, stderr := runVulture(t,
+		"-loopback", "1", "-seed", "7", "-specs", "4",
+		"-load-requests", "16", "-concurrency", "4",
+		"-slo-p999", "30s", "-max-error-rate", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"(backupd)", "verified 4/4 specs", "SLO ok"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+}
+
+// The same harness against a sweepfront coordinator over three loopback
+// workers: target kind auto-detected, rows_merged deltas checked.
+func TestVultureLoopbackFabric(t *testing.T) {
+	code, stdout, stderr := runVulture(t,
+		"-loopback", "3", "-seed", "11", "-specs", "3",
+		"-load-requests", "9", "-concurrency", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"(sweepfront)", "verified 3/3 specs", "SLO ok"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+}
+
+// An impossible latency budget must trip the SLO gate and exit 1.
+func TestVultureSLOViolation(t *testing.T) {
+	code, _, stderr := runVulture(t,
+		"-loopback", "1", "-seed", "7", "-specs", "1",
+		"-load-requests", "4", "-slo-p50", "1ns")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "SLO violation") {
+		t.Errorf("stderr missing SLO violation: %s", stderr)
+	}
+}
+
+// A target that streams wrong bytes must fail the byte-equality check.
+func TestVultureDetectsCorruptTarget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"index":0,"op":"evaluate","servers":8,"workload":"bogus","outage":"1s"}`)
+	}))
+	defer ts.Close()
+
+	code, _, stderr := runVulture(t, "-target", ts.URL, "-specs", "1", "-seed", "7")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "byte-equality check failed") {
+		t.Errorf("stderr missing byte-equality failure: %s", stderr)
+	}
+}
+
+// A target whose sweeps are correct but whose cache counters misbehave
+// (misses growing on a warm repeat) must fail the metrics-delta check:
+// the proxy below forwards /v1/sweep to a real worker but serves
+// fabricated /metrics.
+func TestVultureDetectsMetricsDrift(t *testing.T) {
+	urls, stop, err := fabric.Loopback(1, fabric.LoopbackConfig{Servers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	worker, err := url.Parse(urls[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(worker)
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			fmt.Fprintf(w, `{"cache":{"entries":0,"hits":0,"misses":%d}}`, polls.Add(1))
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	code, _, stderr := runVulture(t, "-target", ts.URL, "-specs", "1", "-seed", "7")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "metrics-delta check failed") {
+		t.Errorf("stderr missing metrics-delta failure: %s", stderr)
+	}
+}
+
+// Usage errors exit 2 before touching any target.
+func TestVultureUsage(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{}, // neither -target nor -loopback
+		{"-target", "http://x", "-loopback", "1"}, // both
+		{"-loopback", "1", "-specs", "0"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runVulture(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

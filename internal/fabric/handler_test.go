@@ -1,0 +1,145 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newFrontend mounts Handler on a live listener over a real worker pool:
+// the exact topology cmd/sweepfront -serve and cmd/vulture's multi-worker
+// loopback target run.
+func newFrontend(t *testing.T, workers int) *httptest.Server {
+	t.Helper()
+	f, err := New(Options{Workers: newWorkers(t, workers, nil), DefaultServers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// The serving surface keeps the tentpole contract: a sweep POSTed to the
+// frontend merges to the same bytes a single-node run produces.
+func TestHandlerSweepMatchesSingleNode(t *testing.T) {
+	ts := newFrontend(t, 2)
+	want := singleNodeNDJSON(t, testSpec())
+
+	body, err := json.Marshal(map[string]any{"spec": testSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("frontend bytes differ from single-node run:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+}
+
+// Decode failures are pre-stream and must come back as clean 400s.
+func TestHandlerSweepRejects(t *testing.T) {
+	ts := newFrontend(t, 1)
+	cases := []struct {
+		name, body string
+	}{
+		{"invalid json", `{"spec":`},
+		{"unknown field", `{"spec":{},"nope":1}`},
+		{"bad timeout", `{"spec":{},"timeout":"yesterday"}`},
+		{"negative timeout", `{"spec":{},"timeout":"-5s"}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+}
+
+// A spec that fails to compile is only discovered once the stream has
+// started, so the handler reports it in-band: 200, then a final NDJSON
+// error line.
+func TestHandlerSweepInBandError(t *testing.T) {
+	ts := newFrontend(t, 1)
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"spec":{"workloads":["no-such-workload"],"outages":["5m"],"configs":[{"name":"MaxPerf"}],"techniques":[{"name":"baseline"}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with in-band error", resp.StatusCode)
+	}
+	var doc struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Error.Code != "fabric_failed" || doc.Error.Message == "" {
+		t.Fatalf("in-band error %+v", doc.Error)
+	}
+}
+
+// Metrics and liveness ride on the same handler.
+func TestHandlerMetricsAndHealthz(t *testing.T) {
+	ts := newFrontend(t, 1)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["rows_merged"]; !ok {
+		t.Fatalf("metrics document missing rows_merged: %v", doc)
+	}
+	// Mutating methods stay off the read-only surface.
+	for _, path := range []string{"/metrics", "/healthz"} {
+		resp, err := http.Post(ts.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}

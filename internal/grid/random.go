@@ -1,0 +1,274 @@
+package grid
+
+import (
+	"math/rand"
+	"time"
+
+	"backuppower/internal/technique"
+	"backuppower/internal/workload"
+)
+
+// Bounds parameterizes RandomSpec: the envelope of the spec space the
+// generator samples. The zero value is usable — every zero field falls
+// back to the matching DefaultBounds value — so callers can tighten one
+// dimension without restating the rest.
+type Bounds struct {
+	// Ops are the candidate ops ("evaluate", "size", "best"). Empty
+	// means all three.
+	Ops []string
+
+	// Servers are the candidate cluster sizes for the servers axis.
+	// Empty means {4, 8, 16}.
+	Servers []int
+
+	// Workloads are the candidate workload names. Empty means every
+	// calibrated workload (workload.All).
+	Workloads []string
+
+	// MaxAxisLen caps the length of the workloads, configs, and
+	// techniques axes (>= 1). 0 means 3.
+	MaxAxisLen int
+
+	// MaxOutageAxisLen caps the outage axis length (>= 1). 0 means 4.
+	MaxOutageAxisLen int
+
+	// MinOutage / MaxOutage band the sampled outage durations. Zero
+	// means 30s / 4h. Values are clamped to [1s, grid.MaxOutage].
+	MinOutage time.Duration
+	MaxOutage time.Duration
+
+	// Variants permits technique_variants specs (the full Section 6
+	// variant set) for non-zip evaluate and size ops.
+	Variants bool
+}
+
+// DefaultBounds is the envelope the vulture and the fuzz target use: all
+// three ops, small clusters, short axes, and sub-4h outages, with
+// variant sweeps enabled — broad enough to reach every compiler path,
+// small enough that any sampled spec evaluates in well under a second.
+func DefaultBounds() Bounds {
+	return Bounds{
+		Ops:              []string{OpEvaluate, OpSize, OpBest},
+		Servers:          []int{4, 8, 16},
+		MaxAxisLen:       3,
+		MaxOutageAxisLen: 4,
+		MinOutage:        30 * time.Second,
+		MaxOutage:        4 * time.Hour,
+		Variants:         true,
+	}
+}
+
+// normalized fills zero fields from DefaultBounds and clamps the outage
+// band to what ParseOutage accepts, so RandomSpec cannot be steered into
+// emitting an invalid axis value.
+func (b Bounds) normalized() Bounds {
+	def := DefaultBounds()
+	if len(b.Ops) == 0 {
+		b.Ops = def.Ops
+	}
+	if len(b.Servers) == 0 {
+		b.Servers = def.Servers
+	}
+	if len(b.Workloads) == 0 {
+		for _, w := range workload.All() {
+			b.Workloads = append(b.Workloads, w.Name)
+		}
+	}
+	if b.MaxAxisLen < 1 {
+		b.MaxAxisLen = def.MaxAxisLen
+	}
+	if b.MaxOutageAxisLen < 1 {
+		b.MaxOutageAxisLen = def.MaxOutageAxisLen
+	}
+	if b.MinOutage < time.Second {
+		b.MinOutage = def.MinOutage
+	}
+	if b.MaxOutage <= 0 {
+		b.MaxOutage = def.MaxOutage
+	}
+	if b.MaxOutage > MaxOutage {
+		b.MaxOutage = MaxOutage
+	}
+	if b.MinOutage > b.MaxOutage {
+		b.MinOutage = b.MaxOutage
+	}
+	return b
+}
+
+// RandomSpec draws one valid Spec from the bounded envelope: every op,
+// axis shape, zip/filter/variant combination, named and custom
+// configurations, and all twelve wire technique families are reachable.
+// The returned spec always compiles under CompileOptions with any
+// DefaultServers >= 1 and the default row bound — validity is the
+// generator's contract, and FuzzRandomSpecCompiles enforces it. The draw
+// is a pure function of the rng stream, so a seeded source reproduces
+// the exact spec sequence (the vulture's replay contract).
+func RandomSpec(rng *rand.Rand, b Bounds) Spec {
+	b = b.normalized()
+	spec := Spec{Op: b.Ops[rng.Intn(len(b.Ops))]}
+
+	// Zip pairs axes element-wise; variants replace the technique axis
+	// with the Section 6 set. The two are mutually exclusive by the
+	// compiler's rules, and neither applies to every op.
+	zip := rng.Intn(4) == 0
+	variants := !zip && b.Variants && spec.Op != OpBest && rng.Intn(6) == 0
+	spec.Zip = zip
+	spec.TechniqueVariants = variants
+
+	// Zipped axes must share one length L (length <= 1 broadcasts).
+	axisLen := func(max int) int { return 1 + rng.Intn(max) }
+	zipL := axisLen(b.MaxAxisLen)
+	length := func(max int) int {
+		if !zip {
+			return axisLen(max)
+		}
+		if zipL <= max && rng.Intn(2) == 0 {
+			return zipL
+		}
+		return 1
+	}
+
+	// Servers axis: sometimes absent (the runner's default scale).
+	if rng.Intn(4) > 0 {
+		n := length(min(2, len(b.Servers)))
+		for i := 0; i < n; i++ {
+			spec.Servers = append(spec.Servers, b.Servers[rng.Intn(len(b.Servers))])
+		}
+	}
+
+	for i, n := 0, length(b.MaxAxisLen); i < n; i++ {
+		spec.Workloads = append(spec.Workloads, b.Workloads[rng.Intn(len(b.Workloads))])
+	}
+
+	outages := make([]time.Duration, length(b.MaxOutageAxisLen))
+	for i := range outages {
+		outages[i] = randomOutage(rng, b)
+		spec.Outages = append(spec.Outages, outages[i].String())
+	}
+
+	if spec.Op != OpSize {
+		for i, n := 0, length(b.MaxAxisLen); i < n; i++ {
+			spec.Configs = append(spec.Configs, randomConfig(rng))
+		}
+	}
+	if spec.Op != OpBest && !variants {
+		deepest := len(technique.DefaultEnv(1).Server.PStates) - 1
+		for i, n := 0, length(b.MaxAxisLen); i < n; i++ {
+			spec.Techniques = append(spec.Techniques, randomTechnique(rng, deepest))
+		}
+	}
+
+	// One filter kind at a time, always satisfiable: outage-band bounds
+	// are drawn from the generated axis (so at least one row survives),
+	// and sample_every always keeps pre-filter row 0.
+	if rng.Intn(5) == 0 {
+		pick := outages[rng.Intn(len(outages))]
+		switch rng.Intn(3) {
+		case 0:
+			spec.Filter = &Filter{MinOutage: pick.String()}
+		case 1:
+			spec.Filter = &Filter{MaxOutage: pick.String()}
+		case 2:
+			spec.Filter = &Filter{SampleEvery: 2 + rng.Intn(2)}
+		}
+	}
+	return spec
+}
+
+// randomOutage draws a whole-second duration inside the bounds band.
+// time.Duration.String output round-trips through ParseOutage.
+func randomOutage(rng *rand.Rand, b Bounds) time.Duration {
+	span := b.MaxOutage - b.MinOutage
+	d := b.MinOutage
+	if span > 0 {
+		d += time.Duration(rng.Int63n(int64(span) + 1))
+	}
+	if t := d.Truncate(time.Second); t >= b.MinOutage {
+		d = t
+	}
+	return d
+}
+
+// randomConfig draws either a Table 3 name or a custom configuration.
+// Custom capacities stay at most 2 kW, far under the 100x-peak sanity
+// bound for every cluster size the default envelope samples.
+func randomConfig(rng *rand.Rand) ConfigDTO {
+	if rng.Intn(2) == 0 {
+		names := []string{
+			"MaxPerf", "MinCost", "NoDG", "NoUPS", "DG-SmallPUPS",
+			"SmallDG-SmallPUPS", "SmallPUPS", "LargeEUPS", "SmallP-LargeEUPS",
+		}
+		return ConfigDTO{Name: names[rng.Intn(len(names))]}
+	}
+	d := ConfigDTO{
+		DGPower:  []string{"0W", "400W", "1kW", "2kW"}[rng.Intn(4)],
+		UPSPower: []string{"0W", "250W", "800W", "1.5kW"}[rng.Intn(4)],
+	}
+	if d.UPSPower != "0W" && rng.Intn(2) == 0 {
+		d.UPSRuntime = []string{"90s", "10m", "1h"}[rng.Intn(3)]
+	}
+	return d
+}
+
+// randomTechnique draws one instance from each of the twelve wire
+// families, filling every required parameter and sometimes the optional
+// ones.
+func randomTechnique(rng *rand.Rand, deepest int) TechniqueDTO {
+	pstate := func() *int { p := 1 + rng.Intn(deepest); return &p }
+	coin := func() *bool { v := rng.Intn(2) == 0; return &v }
+	frac := func() *float64 {
+		f := float64(1+rng.Intn(10)) / 10 // (0, 1] in tenths
+		return &f
+	}
+	maybe := func(f func() TechniqueDTO, name string) TechniqueDTO {
+		if rng.Intn(2) == 0 {
+			return TechniqueDTO{Name: name}
+		}
+		return f()
+	}
+	switch rng.Intn(12) {
+	case 0:
+		return TechniqueDTO{Name: "baseline"}
+	case 1:
+		return TechniqueDTO{Name: "throttling", PState: pstate()}
+	case 2:
+		budget := []string{"150W", "500W", "1.2kW"}[rng.Intn(3)]
+		return TechniqueDTO{Name: "capped-throttling", Budget: budget}
+	case 3:
+		return maybe(func() TechniqueDTO {
+			return TechniqueDTO{Name: "migration", Proactive: coin(), ThrottleDeep: coin()}
+		}, "migration")
+	case 4:
+		return maybe(func() TechniqueDTO {
+			return TechniqueDTO{Name: "sleep", LowPower: coin()}
+		}, "sleep")
+	case 5:
+		return maybe(func() TechniqueDTO {
+			return TechniqueDTO{Name: "hibernate", LowPower: coin(), Proactive: coin()}
+		}, "hibernate")
+	case 6:
+		d := TechniqueDTO{
+			Name:   "throttle-then-save",
+			PState: pstate(),
+			Save:   []string{"sleep", "hibernate"}[rng.Intn(2)],
+		}
+		if rng.Intn(2) == 0 {
+			d.ActiveFraction = frac()
+		}
+		return d
+	case 7:
+		return maybe(func() TechniqueDTO {
+			return TechniqueDTO{Name: "migration-then-sleep", ActiveFraction: frac()}
+		}, "migration-then-sleep")
+	case 8:
+		return TechniqueDTO{Name: "nvdimm"}
+	case 9:
+		return TechniqueDTO{Name: "nvdimm-throttle", PState: pstate()}
+	case 10:
+		return TechniqueDTO{Name: "barely-alive"}
+	default:
+		return maybe(func() TechniqueDTO {
+			return TechniqueDTO{Name: "geo-failover", Save: []string{"sleep", "hibernate"}[rng.Intn(2)]}
+		}, "geo-failover")
+	}
+}

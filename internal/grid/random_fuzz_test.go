@@ -1,0 +1,61 @@
+package grid
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// FuzzRandomSpecCompiles drives RandomSpec across the whole bounds
+// space, not just DefaultBounds: arbitrary seeds, axis-length caps,
+// outage bands, and row bounds. The property is the generator's
+// contract plus the compiler's error discipline — a generated spec
+// either compiles or (under a tightened row bound) fails with a typed
+// *FieldError; nothing panics, and whatever compiles stays within the
+// bound it compiled under.
+func FuzzRandomSpecCompiles(f *testing.F) {
+	f.Add(int64(1), 6, 4, int64(0), int64(0), 0)
+	f.Add(int64(42), 1, 1, int64(time.Second), int64(time.Second), 1)
+	f.Add(int64(-7), 8, 2, int64(30*time.Second), int64(4*time.Hour), 100000)
+	f.Add(int64(1234567), 3, 1000, int64(time.Hour), int64(time.Minute), 3)
+	f.Add(int64(0), 0, 0, int64(-5), int64(1<<62), 50)
+
+	f.Fuzz(func(t *testing.T, seed int64, axisLen, servers int, minOutage, maxOutage int64, maxRows int) {
+		b := Bounds{
+			MaxAxisLen:       axisLen,
+			MaxOutageAxisLen: axisLen,
+			MinOutage:        time.Duration(minOutage),
+			MaxOutage:        time.Duration(maxOutage),
+			Variants:         seed%2 == 0,
+		}
+		if servers != 0 {
+			b.Servers = []int{servers}
+		}
+		// The generator must tolerate any bounds value without panicking
+		// (normalization clamps the nonsense), but only sane inputs keep
+		// the validity contract: wildly long axes can legitimately trip
+		// the row bound.
+		rng := rand.New(rand.NewSource(seed))
+		spec := RandomSpec(rng, b)
+
+		if maxRows < 0 {
+			maxRows = -maxRows
+		}
+		plan, err := Compile(spec, CompileOptions{DefaultServers: 8, MaxRows: maxRows})
+		if err != nil {
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("compile error is not a *FieldError: %T %v\nspec: %+v", err, err, spec)
+			}
+			return
+		}
+		bound := maxRows
+		if bound <= 0 {
+			bound = DefaultMaxRows
+		}
+		if len(plan.Points) > bound {
+			t.Fatalf("plan has %d rows, past the %d bound", len(plan.Points), bound)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package grid
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"backuppower/internal/core"
+)
+
+// Validity is RandomSpec's contract: every draw compiles. The sweep
+// below also proves the generator actually reaches every shape the
+// compiler accepts — all three ops, zip, variants, each filter kind,
+// named and custom configs, every technique family, and the defaulted
+// servers axis — so the vulture's coverage claim is a tested property,
+// not an intention.
+func TestRandomSpecCompilesAndCoversShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := DefaultBounds()
+
+	ops := map[string]int{}
+	families := map[string]int{}
+	var zips, variants, minFilters, maxFilters, sampleFilters int
+	var named, custom, noServers, emptyPlans int
+
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		spec := RandomSpec(rng, b)
+		plan, err := Compile(spec, CompileOptions{DefaultServers: 8})
+		if err != nil {
+			t.Fatalf("draw %d: generated spec does not compile: %v\nspec: %+v", i, err, spec)
+		}
+		if len(plan.Points) == 0 {
+			emptyPlans++
+		}
+
+		op := spec.Op
+		if op == "" {
+			op = OpEvaluate
+		}
+		ops[op]++
+		if spec.Zip {
+			zips++
+		}
+		if spec.TechniqueVariants {
+			variants++
+		}
+		if f := spec.Filter; f != nil {
+			switch {
+			case f.MinOutage != "":
+				minFilters++
+			case f.MaxOutage != "":
+				maxFilters++
+			case f.SampleEvery > 1:
+				sampleFilters++
+			}
+		}
+		for _, c := range spec.Configs {
+			if c.Name != "" {
+				named++
+			} else {
+				custom++
+			}
+		}
+		for _, d := range spec.Techniques {
+			families[d.Name]++
+		}
+		if len(spec.Servers) == 0 {
+			noServers++
+		}
+	}
+
+	for _, op := range []string{OpEvaluate, OpSize, OpBest} {
+		if ops[op] == 0 {
+			t.Errorf("op %q never generated in %d draws", op, draws)
+		}
+	}
+	for _, name := range TechniqueNames() {
+		if families[name] == 0 {
+			t.Errorf("technique family %q never generated in %d draws", name, draws)
+		}
+	}
+	counts := map[string]int{
+		"zip": zips, "technique_variants": variants,
+		"filter.min_outage": minFilters, "filter.max_outage": maxFilters,
+		"filter.sample_every": sampleFilters,
+		"named configs":       named, "custom configs": custom,
+		"defaulted servers axis": noServers,
+	}
+	for shape, n := range counts {
+		if n == 0 {
+			t.Errorf("shape %q never generated in %d draws", shape, draws)
+		}
+	}
+	// The generator's filters are constructed to be satisfiable, so an
+	// empty plan is a generator bug.
+	if emptyPlans > 0 {
+		t.Errorf("%d of %d draws compiled to empty plans", emptyPlans, draws)
+	}
+}
+
+// The same seed must reproduce the exact spec sequence — the vulture's
+// replay contract.
+func TestRandomSpecDeterministic(t *testing.T) {
+	draw := func() []Spec {
+		rng := rand.New(rand.NewSource(99))
+		specs := make([]Spec, 50)
+		for i := range specs {
+			specs[i] = RandomSpec(rng, DefaultBounds())
+		}
+		return specs
+	}
+	a, b := draw(), draw()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two draws from the same seed differ")
+	}
+}
+
+// Zero-value bounds fall back to the defaults wholesale.
+func TestRandomSpecZeroBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		spec := RandomSpec(rng, Bounds{})
+		if _, err := Compile(spec, CompileOptions{DefaultServers: 4}); err != nil {
+			t.Fatalf("draw %d under zero bounds does not compile: %v", i, err)
+		}
+	}
+}
+
+// Generated specs are not just compilable but runnable: a handful of
+// draws stream through the Runner without a run-level error, producing
+// exactly the plan's rows.
+func TestRandomSpecRunnable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	runner := NewRunner(core.New(8))
+	for i := 0; i < 5; i++ {
+		spec := RandomSpec(rng, DefaultBounds())
+		plan, err := Compile(spec, CompileOptions{DefaultServers: 8})
+		if err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		rows, err := runner.Run(context.Background(), plan, RunOptions{})
+		if err != nil {
+			t.Fatalf("draw %d: run failed: %v\nspec: %+v", i, err, spec)
+		}
+		if len(rows) != len(plan.Points) {
+			t.Fatalf("draw %d: %d rows for a %d-point plan", i, len(rows), len(plan.Points))
+		}
+	}
+}

@@ -246,16 +246,21 @@ func getMetrics(t *testing.T, base string) metricsSnapshot {
 }
 
 // TestWarmCacheRepeatIsCacheHit asserts the serving-layer cache story
-// via the /metrics counters: the first evaluation of a fresh scenario
-// misses the shared scenario cache and simulates; an identical repeat
-// hits it and adds no new miss — the warm request never re-simulates,
-// which is what makes it measurably faster than the cold one.
+// via the /metrics counters: evaluating a scenario routes through the
+// shared scenario cache (one counted event — a miss that simulates, or a
+// hit if the cache is already warm), and an identical repeat hits it
+// without adding a miss — the warm request never re-simulates, which is
+// what makes it measurably faster than the cold one. All assertions are
+// deltas against a baseline snapshot: the scenario cache is
+// process-global and its counters are cumulative, so under `go test
+// -count>1` (or after any test that touches the same scenario) the first
+// request may legitimately be a hit rather than a miss.
 func TestWarmCacheRepeatIsCacheHit(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 
 	// A custom configuration with capacities no other test uses, so the
-	// first request is guaranteed cold even though the scenario cache is
-	// process-global.
+	// first request within one process run is cold (later -count runs
+	// find it warm, which the delta assertions tolerate).
 	body := `{
 		"config":    {"dg_power": "0W", "ups_power": "13.37kW", "ups_runtime": "41m"},
 		"technique": {"name": "throttling", "pstate": 3},
@@ -269,9 +274,10 @@ func TestWarmCacheRepeatIsCacheHit(t *testing.T) {
 		t.Fatalf("cold request: status %d: %s", resp.StatusCode, cold)
 	}
 	mid := getMetrics(t, ts.URL)
-	if mid.Cache.Misses <= before.Cache.Misses {
-		t.Fatalf("cold request added no cache miss (before %d, after %d)",
-			before.Cache.Misses, mid.Cache.Misses)
+	coldActivity := (mid.Cache.Hits + mid.Cache.Misses) - (before.Cache.Hits + before.Cache.Misses)
+	if coldActivity == 0 {
+		t.Fatalf("first request never consulted the scenario cache (hits %d->%d, misses %d->%d)",
+			before.Cache.Hits, mid.Cache.Hits, before.Cache.Misses, mid.Cache.Misses)
 	}
 
 	resp, warm := post(t, ts.URL+"/v1/evaluate", body)

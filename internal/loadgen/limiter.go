@@ -1,0 +1,99 @@
+// Package loadgen replays a request-shaped function at controlled
+// concurrency and rate, and summarizes the observed latency distribution
+// into the tail quantiles (p50/p99/p999), throughput, and error-rate
+// verdicts the repo's SLO gates check. It is the measurement half of
+// cmd/vulture — deliberately free of HTTP so the same harness can drive
+// in-process targets in tests — and the first consumer of the numbers is
+// BENCH_PR8.json.
+package loadgen
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter is a token bucket: Wait blocks until a token is available,
+// admitting on average rate requests per second with bursts up to the
+// bucket depth. A nil limiter or a non-positive rate admits immediately,
+// so "no rate limit" needs no special casing at call sites.
+type Limiter struct {
+	rate  float64 // tokens added per second
+	burst float64 // bucket depth
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	// Clock seams: tests drive the bucket arithmetic deterministically
+	// by injecting a fake clock; production uses the real one.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewLimiter returns a limiter admitting rate requests per second with
+// the given burst depth (minimum 1). rate <= 0 means unlimited.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	l := &Limiter{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+		sleep:  sleepCtx,
+	}
+	return l
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Wait blocks until a token is available or the context ends. It is safe
+// for concurrent use; waiters are admitted as tokens refill, each paying
+// only its own shortfall.
+func (l *Limiter) Wait(ctx context.Context) error {
+	if l == nil || l.rate <= 0 {
+		return ctx.Err()
+	}
+	l.mu.Lock()
+	now := l.now()
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens >= 1 {
+		l.tokens--
+		l.mu.Unlock()
+		return nil
+	}
+	// Reserve the shortfall: take the token debt now, so concurrent
+	// waiters queue behind this one instead of all waking at once, then
+	// sleep it off.
+	shortfall := 1 - l.tokens
+	l.tokens--
+	l.mu.Unlock()
+	wait := time.Duration(math.Ceil(shortfall / l.rate * float64(time.Second)))
+	if err := l.sleep(ctx, wait); err != nil {
+		// Return the unused reservation so an aborted waiter does not
+		// slow the survivors.
+		l.mu.Lock()
+		l.tokens++
+		l.mu.Unlock()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a replay run.
+type Config struct {
+	// Requests is the total number of requests to issue (0 = no count
+	// bound; Duration must then be set).
+	Requests int
+
+	// Duration stops the run after a wall-clock budget: no new requests
+	// start past the deadline, but in-flight ones finish and are
+	// counted, so a time-bounded run never pollutes the error rate with
+	// self-inflicted cancellations. 0 = no time bound.
+	Duration time.Duration
+
+	// Concurrency is the worker count (default 1).
+	Concurrency int
+
+	// Rate caps admitted requests per second across all workers through
+	// a token bucket (0 = unlimited).
+	Rate float64
+
+	// Burst is the token bucket depth (default 1; only meaningful with
+	// Rate > 0).
+	Burst int
+}
+
+// Run replays do at the configured concurrency and rate and summarizes
+// what it observed. Each call receives the run context and a unique
+// 0-based sequence number (dense in a count-bounded run that finishes;
+// an aborted admission can skip one). A non-nil return from do counts as
+// an error toward the report's error rate; do is responsible for its own
+// per-request timeout. Run returns early only if ctx itself ends.
+func Run(ctx context.Context, cfg Config, do func(ctx context.Context, seq int) error) (Report, error) {
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("loadgen: config needs Requests or Duration")
+	}
+	workers := cfg.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	limiter := NewLimiter(cfg.Rate, cfg.Burst)
+
+	// The admission context bounds when new requests may start; do runs
+	// under the caller's context so the deadline never cancels in-flight
+	// work.
+	admit := ctx
+	var cancel context.CancelFunc
+	if cfg.Duration > 0 {
+		admit, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	var seq atomic.Int64
+	var mu sync.Mutex
+	var latencies []time.Duration
+	errs := 0
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if admit.Err() != nil {
+					return
+				}
+				n := int(seq.Add(1)) - 1
+				if cfg.Requests > 0 && n >= cfg.Requests {
+					return
+				}
+				if err := limiter.Wait(admit); err != nil {
+					return
+				}
+				t0 := time.Now()
+				err := do(ctx, n)
+				d := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, d)
+				if err != nil {
+					errs++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return Summarize(latencies, errs, time.Since(start)), ctx.Err()
+}
+
+// Report summarizes one replay run. Quantiles are nearest-rank over the
+// recorded per-request latencies.
+type Report struct {
+	Requests   int           // requests completed (including errored)
+	Errors     int           // non-nil returns from do
+	Elapsed    time.Duration // wall clock for the whole run
+	Throughput float64       // completed requests per second
+	P50        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	Max        time.Duration
+
+	sorted []time.Duration
+}
+
+// Summarize builds a report from raw per-request latencies. Exported so
+// tests (and callers that batch their own timing) hit the exact quantile
+// arithmetic the runner uses.
+func Summarize(latencies []time.Duration, errors int, elapsed time.Duration) Report {
+	r := Report{
+		Requests: len(latencies),
+		Errors:   errors,
+		Elapsed:  elapsed,
+		sorted:   append([]time.Duration(nil), latencies...),
+	}
+	sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+	if elapsed > 0 {
+		r.Throughput = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if len(r.sorted) > 0 {
+		r.P50 = r.Percentile(50)
+		r.P99 = r.Percentile(99)
+		r.P999 = r.Percentile(99.9)
+		r.Max = r.sorted[len(r.sorted)-1]
+	}
+	return r
+}
+
+// Percentile returns the nearest-rank p-th percentile (p in (0, 100]):
+// the smallest recorded latency at or above which at least p% of
+// requests completed. Zero if nothing was recorded.
+func (r Report) Percentile(p float64) time.Duration {
+	n := len(r.sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return r.sorted[rank-1]
+}
+
+// ErrorRate is the fraction of completed requests that errored.
+func (r Report) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Requests)
+}
+
+// SLO is an error-budget gate over a report. Zero latency fields are
+// ungated; MaxErrorRate 0 means no errors allowed, negative means
+// ungated.
+type SLO struct {
+	P50          time.Duration
+	P99          time.Duration
+	P999         time.Duration
+	MaxErrorRate float64
+}
+
+// Check returns one violation string per breached gate; empty means the
+// report is within budget.
+func (s SLO) Check(r Report) []string {
+	var v []string
+	gate := func(name string, limit, got time.Duration) {
+		if limit > 0 && got > limit {
+			v = append(v, fmt.Sprintf("%s %v exceeds the %v budget", name, got, limit))
+		}
+	}
+	gate("p50", s.P50, r.P50)
+	gate("p99", s.P99, r.P99)
+	gate("p999", s.P999, r.P999)
+	if s.MaxErrorRate >= 0 && r.ErrorRate() > s.MaxErrorRate {
+		v = append(v, fmt.Sprintf("error rate %.4f (%d/%d) exceeds the %.4f budget",
+			r.ErrorRate(), r.Errors, r.Requests, s.MaxErrorRate))
+	}
+	return v
+}

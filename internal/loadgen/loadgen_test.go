@@ -1,0 +1,274 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Nearest-rank quantiles on a known distribution: 1ms..100ms in 1ms
+// steps makes every percentile exactly predictable.
+func TestPercentileNearestRank(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	r := Summarize(lat, 0, time.Second)
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{99.9, 100 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{1, 1 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if r.P50 != 50*time.Millisecond || r.P99 != 99*time.Millisecond || r.P999 != 100*time.Millisecond {
+		t.Errorf("summary quantiles %v/%v/%v", r.P50, r.P99, r.P999)
+	}
+	if r.Max != 100*time.Millisecond {
+		t.Errorf("max %v", r.Max)
+	}
+	if r.Throughput != 100 {
+		t.Errorf("throughput %v, want 100/s", r.Throughput)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	r := Summarize(nil, 0, 0)
+	if r.P50 != 0 || r.P999 != 0 || r.Requests != 0 || r.ErrorRate() != 0 || r.Throughput != 0 {
+		t.Errorf("zero report not zero: %+v", r)
+	}
+}
+
+// Summarize must not mutate or alias the caller's slice.
+func TestSummarizeCopies(t *testing.T) {
+	lat := []time.Duration{3, 1, 2}
+	Summarize(lat, 0, time.Second)
+	if lat[0] != 3 || lat[1] != 1 || lat[2] != 2 {
+		t.Errorf("caller slice mutated: %v", lat)
+	}
+}
+
+func TestSLOCheck(t *testing.T) {
+	r := Summarize([]time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond,
+	}, 1, time.Second)
+
+	if v := (SLO{}).Check(r); len(v) != 1 {
+		// Zero-value SLO gates only the error rate (0 = no errors allowed).
+		t.Errorf("zero SLO violations = %v, want the error-rate breach only", v)
+	}
+	if v := (SLO{MaxErrorRate: -1}).Check(r); len(v) != 0 {
+		t.Errorf("fully ungated SLO violations = %v", v)
+	}
+	if v := (SLO{P99: time.Millisecond, MaxErrorRate: -1}).Check(r); len(v) != 1 {
+		t.Errorf("p99 breach: got %v", v)
+	}
+	ok := SLO{P50: time.Second, P99: time.Second, P999: time.Second, MaxErrorRate: 0.25}
+	if v := ok.Check(r); len(v) != 0 {
+		t.Errorf("within-budget SLO violations = %v", v)
+	}
+}
+
+// A count-bounded run issues exactly Requests calls, with dense unique
+// sequence numbers, at the configured concurrency.
+func TestRunCountBounded(t *testing.T) {
+	const want = 200
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var inflight, maxInflight atomic.Int64
+
+	r, err := Run(context.Background(), Config{Requests: want, Concurrency: 8},
+		func(_ context.Context, seq int) error {
+			cur := inflight.Add(1)
+			for {
+				m := maxInflight.Load()
+				if cur <= m || maxInflight.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			defer inflight.Add(-1)
+			mu.Lock()
+			seen[seq]++
+			mu.Unlock()
+			if seq%10 == 3 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != want {
+		t.Fatalf("completed %d requests, want %d", r.Requests, want)
+	}
+	if r.Errors != want/10 {
+		t.Fatalf("errors %d, want %d", r.Errors, want/10)
+	}
+	for i := 0; i < want; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("seq %d executed %d times", i, seen[i])
+		}
+	}
+	if m := maxInflight.Load(); m > 8 {
+		t.Fatalf("observed %d in flight, configured 8", m)
+	}
+}
+
+func TestRunNeedsABound(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}, func(context.Context, int) error { return nil }); err == nil {
+		t.Fatal("unbounded config accepted")
+	}
+}
+
+// A duration-bounded run stops admitting new requests after the budget
+// but never cancels in-flight work: with do slower than the budget,
+// every started request still completes and is counted.
+func TestRunDurationBoundedFinishesInflight(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		for i := 0; i < 3; i++ {
+			<-started
+		}
+		// All workers are mid-request; let the 20ms admission budget
+		// lapse before releasing them.
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	r, err := Run(context.Background(), Config{Duration: 20 * time.Millisecond, Concurrency: 3},
+		func(ctx context.Context, _ int) error {
+			started <- struct{}{}
+			<-release
+			return ctx.Err() // nil unless the run context was cancelled
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != 3 {
+		t.Fatalf("completed %d, want exactly the 3 first-wave requests", r.Requests)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("%d self-inflicted errors from the duration bound", r.Errors)
+	}
+}
+
+// Limiter bucket arithmetic under a fake clock: a drained bucket makes
+// the next waiter sleep exactly the refill shortfall, and tokens cap at
+// the burst depth.
+func TestLimiterTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var slept []time.Duration
+	l := NewLimiter(10, 2) // 10/s, burst 2
+	l.now = func() time.Time { return now }
+	l.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		now = now.Add(d)
+		return nil
+	}
+	ctx := context.Background()
+
+	// Burst drains without sleeping.
+	for i := 0; i < 2; i++ {
+		if err := l.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(slept) != 0 {
+		t.Fatalf("burst waits slept %v", slept)
+	}
+	// Third waiter owes one full token at 10/s = 100ms.
+	if err := l.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 100*time.Millisecond {
+		t.Fatalf("drained wait slept %v, want [100ms]", slept)
+	}
+	// A long idle period refills only to the burst depth.
+	now = now.Add(time.Hour)
+	slept = nil
+	for i := 0; i < 2; i++ {
+		if err := l.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(slept) != 0 {
+		t.Fatalf("post-idle burst slept %v", slept)
+	}
+	if err := l.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 100*time.Millisecond {
+		t.Fatalf("bucket did not cap at burst: slept %v", slept)
+	}
+}
+
+// A cancelled waiter returns its reservation so survivors are not slowed.
+func TestLimiterCancelReturnsReservation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLimiter(10, 1)
+	l.now = func() time.Time { return now }
+	cancelled := errors.New("cancelled")
+	l.sleep = func(context.Context, time.Duration) error { return cancelled }
+	ctx := context.Background()
+
+	if err := l.Wait(ctx); err != nil { // drain the burst
+		t.Fatal(err)
+	}
+	if err := l.Wait(ctx); !errors.Is(err, cancelled) {
+		t.Fatalf("cancelled wait returned %v", err)
+	}
+	// The returned token plus 100ms of refill admits the next waiter
+	// with only its own 100ms shortfall — not 200ms of inherited debt.
+	var slept []time.Duration
+	l.sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		now = now.Add(d)
+		return nil
+	}
+	if err := l.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 100*time.Millisecond {
+		t.Fatalf("post-cancel wait slept %v, want [100ms]", slept)
+	}
+}
+
+// Unlimited and nil limiters admit immediately.
+func TestLimiterUnlimited(t *testing.T) {
+	ctx := context.Background()
+	if err := NewLimiter(0, 1).Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var l *Limiter
+	if err := l.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The real-clock rate limit holds end to end: 40 requests at 2000/s
+// from a burst of 1 must take at least ~19ms of admission spacing.
+func TestRunRateLimited(t *testing.T) {
+	t0 := time.Now()
+	r, err := Run(context.Background(), Config{Requests: 40, Concurrency: 4, Rate: 2000},
+		func(context.Context, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != 40 {
+		t.Fatalf("completed %d", r.Requests)
+	}
+	if elapsed := time.Since(t0); elapsed < 15*time.Millisecond {
+		t.Fatalf("40 requests at 2000/s finished in %v — limiter not applied", elapsed)
+	}
+}

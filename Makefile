@@ -8,9 +8,9 @@ BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|
 BENCH_COUNT   ?= 10
 BENCH_DIR     ?= .bench
 
-.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare batch-equivalence fabric-equivalence vulture-smoke
+.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare batch-equivalence fabric-equivalence store-equivalence vulture-smoke
 
-ci: vet build race race-httpapi cover bench-alloc bench-smoke batch-equivalence fabric-equivalence vulture-smoke
+ci: vet build race race-httpapi cover bench-alloc bench-smoke batch-equivalence fabric-equivalence store-equivalence vulture-smoke
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +60,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParsePower -fuzztime=$(FUZZTIME) ./internal/units
 	$(GO) test -fuzz=FuzzParseDuration -fuzztime=$(FUZZTIME) ./internal/units
 	$(GO) test -fuzz=FuzzRandomSpecCompiles -fuzztime=$(FUZZTIME) ./internal/grid
+	$(GO) test -fuzz=FuzzResultsQuery -fuzztime=$(FUZZTIME) ./internal/resultstore
 
 # Allocation-regression gate: the aggregate simulation path and the sizing
 # inner loop must stay heap-allocation-free (see internal/cluster/alloc_test.go).
@@ -100,6 +101,27 @@ fabric-equivalence:
 	echo "fabric-equivalence: 3-worker sweepfront output identical to single-node gridrun" ; \
 	status=$$?; rm -rf $$tmp; exit $$status
 
+# Persistent result store equivalence smoke (PR 9): a cold gridrun with
+# -store-dir, then a warm rerun of the identical spec against the same
+# store, must produce byte-identical NDJSON while evaluating zero rows
+# (the warm store's recompute counter stays 0 — every row is a disk hit).
+# Then a sealed block is torn mid-file: the next rerun must degrade
+# gracefully — recompute only the lost rows, still byte-identical output.
+store-equivalence:
+	@tmp=$$(mktemp -d); \
+	spec='-workloads specjbb,memcached -configs MaxPerf,NoDG -techniques baseline;sleep:low_power=true -outages 30s,5m,30m'; \
+	$(GO) run ./cmd/gridrun $$spec -store-dir $$tmp/store -o $$tmp/cold.ndjson && \
+	$(GO) run ./cmd/gridrun $$spec -store-dir $$tmp/store -store-stats -parallel 4 -shard 3 -o $$tmp/warm.ndjson 2> $$tmp/warm-stats.json && \
+	cmp $$tmp/cold.ndjson $$tmp/warm.ndjson && \
+	grep -q '"recomputes":0,' $$tmp/warm-stats.json && \
+	grep -qv '"hits":0,' $$tmp/warm-stats.json && \
+	echo "store-equivalence: warm rerun byte-identical with 0 recomputed rows" && \
+	for f in $$tmp/store/block-*.blk; do sz=$$(wc -c < $$f); truncate -s $$((sz*3/5)) $$f; done && \
+	$(GO) run ./cmd/gridrun $$spec -store-dir $$tmp/store -o $$tmp/repaired.ndjson && \
+	cmp $$tmp/cold.ndjson $$tmp/repaired.ndjson && \
+	echo "store-equivalence: torn block degraded to recompute with identical bytes" ; \
+	status=$$?; rm -rf $$tmp; exit $$status
+
 # Deterministic continuous-verification smoke (PR 8): cmd/vulture
 # generates seeded-random specs against in-process loopback targets and
 # runs all three checks (byte equality vs a local evaluation, the
@@ -107,9 +129,14 @@ fabric-equivalence:
 # phase under a generous tail-latency budget. Both target kinds are
 # exercised: a single backupd worker and a 3-worker sweepfront fabric.
 # Long soaks stay manual: `go run ./cmd/vulture -loopback 1 -duration 1h`.
+# The third invocation attaches a persistent result store (-store-dir),
+# which arms the store-delta and /v1/results read-your-writes checks.
 vulture-smoke:
 	$(GO) run ./cmd/vulture -loopback 1 -seed 7 -specs 6 -load-requests 32 -concurrency 4 -slo-p999 30s -max-error-rate 0
 	$(GO) run ./cmd/vulture -loopback 3 -seed 11 -specs 4 -load-requests 16 -concurrency 4 -slo-p999 30s -max-error-rate 0
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/vulture -loopback 3 -seed 13 -specs 4 -store-dir $$tmp/store -load-requests 16 -concurrency 4 -slo-p999 30s -max-error-rate 0 ; \
+	status=$$?; rm -rf $$tmp; exit $$status
 
 bench:
 	$(GO) test -bench=. -benchmem .

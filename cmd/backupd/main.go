@@ -12,6 +12,9 @@
 // scale, -parallel the default sweep worker-pool width per request,
 // -max-inflight the bound on concurrent evaluations (past it requests
 // get 429 + Retry-After), -timeout the per-request evaluation deadline.
+// -store-dir attaches a persistent result store: evaluations and sweep
+// rows survive restarts, warm reruns evaluate nothing they have seen,
+// and GET /v1/results serves filter/aggregate queries over stored rows.
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight
 // requests finish (up to the drain grace), then the process exits.
 package main
@@ -31,6 +34,7 @@ import (
 	"backuppower/internal/core"
 	"backuppower/internal/grid"
 	"backuppower/internal/httpapi"
+	"backuppower/internal/resultstore"
 )
 
 // defaultWorkerID is the hostname when the kernel will give it up, else a
@@ -56,11 +60,24 @@ func main() {
 		"maximum rows one /v1/sweep grid may expand to")
 	workerID := flag.String("worker-id", defaultWorkerID(),
 		"identity echoed as X-Backupd-Worker on sweep responses (for sweepfront pools)")
+	storeDir := flag.String("store-dir", "",
+		"persistent result store directory (enables GET /v1/results and warm restarts)")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/")
 	flag.Parse()
 
 	if *servers < 1 {
 		log.Fatalf("backupd: -servers %d must be >= 1", *servers)
+	}
+	var store resultstore.Store
+	if *storeDir != "" {
+		disk, err := resultstore.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("backupd: -store-dir: %v", err)
+		}
+		store = disk
+		core.SetResultStore(store)
+		grid.SetRowStore(store)
+		defer store.Close()
 	}
 	api, err := httpapi.New(httpapi.Config{
 		Framework:    core.New(*servers),
@@ -70,6 +87,7 @@ func main() {
 		EnablePprof:  *pprofOn,
 		MaxSweepRows: *maxSweepRows,
 		WorkerID:     *workerID,
+		Store:        store,
 	})
 	if err != nil {
 		log.Fatalf("backupd: %v", err)

@@ -14,8 +14,12 @@
 //
 // -parallel sets the worker-pool width, -shard the emission batch size,
 // and -no-batch disables the outage-axis batch kernel; none of them
-// changes the output bytes. Rows always stream in plan order (servers,
-// workloads, configs, techniques, outages — outermost to innermost).
+// changes the output bytes. -store-dir persists evaluated rows in a
+// result store, so rerunning a spec (or any overlapping spec) evaluates
+// only rows the store has never seen — still byte-identical output;
+// -store-stats prints the store's counters to stderr afterwards. Rows
+// always stream in plan order (servers, workloads, configs, techniques,
+// outages — outermost to innermost).
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"backuppower/internal/core"
 	"backuppower/internal/grid"
 	"backuppower/internal/report"
+	"backuppower/internal/resultstore"
 	"backuppower/internal/sweep"
 )
 
@@ -65,8 +70,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "ndjson", "output format: ndjson or table")
 	out := fs.String("o", "", "write output to a file instead of stdout")
 	progress := fs.Bool("progress", false, "print per-shard progress to stderr")
+	storeDir := fs.String("store-dir", "",
+		"persistent result store directory (warm reruns skip stored rows; output bytes are identical)")
+	storeStats := fs.Bool("store-stats", false, "print the store's stats JSON to stderr after the run")
 
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *storeStats && *storeDir == "" {
+		fmt.Fprintln(stderr, "gridrun: -store-stats requires -store-dir")
 		return 2
 	}
 	if *format != "ndjson" && *format != "table" {
@@ -123,6 +135,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Progress = func(p grid.Progress) {
 			fmt.Fprintf(stderr, "gridrun: shard %d/%d (%d/%d rows)\n", p.Shard, p.Shards, p.RowsDone, p.Rows)
 		}
+	}
+	if *storeDir != "" {
+		store, err := resultstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "gridrun: -store-dir: %v\n", err)
+			return 1
+		}
+		core.SetResultStore(store)
+		grid.SetRowStore(store)
+		defer func() {
+			// Detach before closing: run() is re-entrant (tests call it
+			// repeatedly) and the globals must not outlive the store.
+			grid.SetRowStore(nil)
+			core.SetResultStore(nil)
+			if *storeStats {
+				st := store.Stats()
+				if b, err := json.Marshal(st); err == nil {
+					fmt.Fprintf(stderr, "%s\n", b)
+				}
+			}
+			store.Close()
+		}()
 	}
 	runner := grid.NewRunner(core.New(defaultServers))
 

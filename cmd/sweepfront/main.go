@@ -22,7 +22,10 @@
 // them changes the output bytes. -metrics-addr exposes the coordinator's
 // GET /metrics (shards dispatched/retried/hedged/cancelled, rows merged,
 // per-worker counters, p50/p99 shard latency) while a one-shot run is in
-// flight; serve mode always mounts /metrics.
+// flight; serve mode always mounts /metrics. -store-dir attaches a
+// persistent result store: loopback workers consult and fill it (a warm
+// rerun evaluates nothing), serve mode mounts GET /v1/results over it,
+// and its counters join the metrics document.
 package main
 
 import (
@@ -40,8 +43,10 @@ import (
 	"syscall"
 	"time"
 
+	"backuppower/internal/core"
 	"backuppower/internal/fabric"
 	"backuppower/internal/grid"
+	"backuppower/internal/resultstore"
 )
 
 func main() {
@@ -67,10 +72,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsAddr := fs.String("metrics-addr", "", "also serve GET /metrics on this address during the run")
 	serve := fs.Bool("serve", false, "run as a serving frontend: POST /v1/sweep fans out across the pool")
 	addr := fs.String("addr", ":8081", "listen address for -serve")
+	storeDir := fs.String("store-dir", "",
+		"persistent result store directory (warm reruns skip stored rows; serves GET /v1/results)")
 	verbose := fs.Bool("verbose", false, "print the metrics document to stderr when a one-shot run finishes")
 
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var store resultstore.Store
+	if *storeDir != "" {
+		disk, err := resultstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "sweepfront: -store-dir: %v\n", err)
+			return 1
+		}
+		store = disk
+		// The coordinator's store feeds this process's evaluation globals:
+		// loopback workers are in-process, so they consult and fill the
+		// same store the coordinator serves reads from. A remote -workers
+		// pool persists nothing here beyond what the coordinator itself
+		// evaluates (remote workers attach their own -store-dir).
+		core.SetResultStore(store)
+		grid.SetRowStore(store)
+		defer store.Close()
 	}
 
 	var workerURLs []string
@@ -84,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workerURLs, stopPool, err = fabric.Loopback(*loopback, fabric.LoopbackConfig{
 			Servers: *servers,
 			Width:   *loopbackWidth,
+			Store:   store,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "sweepfront: %v\n", err)
@@ -110,6 +136,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		HedgeAfter:           *hedgeAfter,
 		DefaultServers:       *servers,
 		WorkerWidth:          *width,
+		Store:                store,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "sweepfront: %v\n", err)

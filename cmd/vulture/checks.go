@@ -8,8 +8,10 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"reflect"
 	"sort"
+	"strings"
 	"time"
 
 	"backuppower/internal/core"
@@ -54,6 +56,7 @@ type checker struct {
 	servers      int
 	timeout      time.Duration
 	metricsCheck bool
+	resultsProbe int // lazily probed: 0 unknown, +1 GET /v1/results served, -1 not served
 	logf         func(format string, args ...any)
 }
 
@@ -106,6 +109,11 @@ func (c *checker) detectKind() targetKind {
 type metricsSnap struct {
 	hits, misses int64 // backupd scenario cache counters
 	rowsMerged   int64 // fabric merged-row counter
+
+	// Persistent result-store counters, present only when the target runs
+	// with -store-dir (the "store" section of the metrics document).
+	storePresent               bool
+	storeHits, storeRecomputes int64
 }
 
 func (c *checker) snapshot(ctx context.Context) (metricsSnap, error) {
@@ -128,12 +136,20 @@ func (c *checker) snapshot(ctx context.Context) (metricsSnap, error) {
 			Misses int64 `json:"misses"`
 		} `json:"cache"`
 		RowsMerged int64 `json:"rows_merged"`
+		Store      *struct {
+			Hits       int64 `json:"hits"`
+			Recomputes int64 `json:"recomputes"`
+		} `json:"store"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return snap, fmt.Errorf("GET /metrics: %w", err)
 	}
 	snap.hits, snap.misses = doc.Cache.Hits, doc.Cache.Misses
 	snap.rowsMerged = doc.RowsMerged
+	if doc.Store != nil {
+		snap.storePresent = true
+		snap.storeHits, snap.storeRecomputes = doc.Store.Hits, doc.Store.Recomputes
+	}
 	return snap, nil
 }
 
@@ -204,21 +220,35 @@ func (c *checker) checkSpec(ctx context.Context, spec grid.Spec) (verifiedSpec, 
 	if err := firstDiff(warm, cold, "warm run", "cold run"); err != nil {
 		return vs, fmt.Errorf("byte-equality check failed (warm repeat): %w", err)
 	}
-	if c.metricsCheck {
-		if m2, err = c.snapshot(ctx); err != nil {
-			return vs, err
-		}
-		if err := c.checkMetricsDeltas(m0, m1, m2, len(plan.Points)); err != nil {
-			return vs, fmt.Errorf("metrics-delta check failed: %w", err)
-		}
-	}
 
+	// Decode before the metrics arithmetic: the store-delta check needs to
+	// know whether any row erred (error rows are never persisted, so a
+	// warm repeat legitimately recomputes them).
 	rows, err := decodeRows(cold)
 	if err != nil {
 		return vs, fmt.Errorf("response stream: %w", err)
 	}
+	errRows := 0
+	for _, row := range rows {
+		if row.Error != "" {
+			errRows++
+		}
+	}
+
+	if c.metricsCheck {
+		if m2, err = c.snapshot(ctx); err != nil {
+			return vs, err
+		}
+		if err := c.checkMetricsDeltas(m0, m1, m2, len(plan.Points), errRows); err != nil {
+			return vs, fmt.Errorf("metrics-delta check failed: %w", err)
+		}
+	}
+
 	if err := checkInvariants(plan, rows); err != nil {
 		return vs, fmt.Errorf("metamorphic check failed: %w", err)
+	}
+	if err := c.checkReadYourWrites(ctx, m2.storePresent, rows); err != nil {
+		return vs, fmt.Errorf("read-your-writes check failed: %w", err)
 	}
 	return vs, nil
 }
@@ -266,7 +296,13 @@ func (c *checker) postSweep(ctx context.Context, body []byte) ([]byte, error) {
 // For a fabric target the coordinator must merge exactly the plan's rows
 // on both the cold and the warm run, however its shards were retried or
 // hedged.
-func (c *checker) checkMetricsDeltas(m0, m1, m2 metricsSnap, rows int) error {
+//
+// When the target carries a persistent result store (its /metrics
+// document has a "store" section) and the plan produced no row-level
+// errors, the warm repeat must be served from the store: zero store
+// recomputes, and at least one store hit per plan row. Error rows are
+// never persisted, so a plan with any disables the store arithmetic.
+func (c *checker) checkMetricsDeltas(m0, m1, m2 metricsSnap, rows, errRows int) error {
 	switch c.kind {
 	case kindBackupd:
 		if d := m2.misses - m1.misses; d != 0 {
@@ -285,7 +321,139 @@ func (c *checker) checkMetricsDeltas(m0, m1, m2 metricsSnap, rows int) error {
 			return fmt.Errorf("warm run merged %d rows for a %d-row plan", d, rows)
 		}
 	}
+	if m2.storePresent && errRows == 0 {
+		if d := m2.storeRecomputes - m1.storeRecomputes; d != 0 {
+			return fmt.Errorf("warm repeat recomputed %d store entries for a fully stored plan", d)
+		}
+		if d := m2.storeHits - m1.storeHits; d < int64(rows) {
+			return fmt.Errorf("warm repeat served %d store hits for a %d-row plan", d, rows)
+		}
+	}
 	return nil
+}
+
+// checkReadYourWrites verifies the stored-results read path against the
+// rows the sweep just streamed: after a verified run, GET /v1/results
+// coordinate queries for a sample of the response's rows must each
+// return the row byte-for-byte (index zeroed — stored rows are
+// plan-independent and re-stamped at emission, so the read surface
+// reports index 0).
+//
+// The check runs whenever the target serves GET /v1/results (probed once
+// per checker). storeExpected forces the stronger stance: when /metrics
+// advertises a store, a missing or failing read surface is an error, not
+// a skip.
+func (c *checker) checkReadYourWrites(ctx context.Context, storeExpected bool, rows []grid.RowDTO) error {
+	if c.resultsProbe == 0 {
+		status, _, err := c.getResults(ctx, "servers=-1")
+		switch {
+		case err == nil && status == http.StatusOK:
+			c.resultsProbe = 1
+		case err != nil && storeExpected:
+			return fmt.Errorf("probing GET /v1/results: %w", err)
+		default:
+			c.resultsProbe = -1
+		}
+	}
+	if c.resultsProbe < 0 {
+		if storeExpected {
+			return fmt.Errorf("/metrics reports a result store but GET /v1/results is not served")
+		}
+		return nil
+	}
+
+	// Sample up to four non-error rows spread across the response. Error
+	// rows are never persisted, so they have nothing to read back.
+	var stored []grid.RowDTO
+	for _, row := range rows {
+		if row.Error == "" {
+			stored = append(stored, row)
+		}
+	}
+	if len(stored) == 0 {
+		return nil
+	}
+	picks := []int{0, len(stored) / 3, 2 * len(stored) / 3, len(stored) - 1}
+	last := -1
+	for _, i := range picks {
+		if i == last {
+			continue
+		}
+		last = i
+		row := stored[i]
+		query := resultsQuery(row)
+		status, body, err := c.getResults(ctx, query)
+		if err != nil {
+			return fmt.Errorf("query %q: %w", query, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("query %q: status %d: %s", query, status, truncate(body, 200))
+		}
+		// The stored row is plan-independent; its DTO carries index 0. A
+		// coordinate query may legitimately match several stored rows
+		// (distinct custom configs can share a name), so at least one
+		// returned line must be the byte-exact re-encoding of this row.
+		row.Index = 0
+		want, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		found := false
+		for _, line := range bytes.Split(body, []byte("\n")) {
+			if bytes.Equal(line, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("query %q did not return the just-streamed row\n  want: %s\n  got:  %s",
+				query, truncate(want, 200), truncate(body, 200))
+		}
+	}
+	return nil
+}
+
+// resultsQuery builds the /v1/results coordinate query matching one
+// streamed row: every identifying field the query language can filter
+// on, string values Go-quoted.
+func resultsQuery(row grid.RowDTO) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "op=%q && servers=%d && workload=%q && outage=%s", row.Op, row.Servers, row.Workload, row.Outage)
+	if row.Config != "" {
+		fmt.Fprintf(&sb, " && config=%q", row.Config)
+	}
+	if row.Family != "" {
+		fmt.Fprintf(&sb, " && family=%q", row.Family)
+	}
+	if row.Technique != "" {
+		fmt.Fprintf(&sb, " && technique=%q", row.Technique)
+	}
+	return sb.String()
+}
+
+// getResults issues one GET /v1/results query and returns the status and
+// body (the body is returned even on non-200 so callers can quote it).
+func (c *checker) getResults(ctx context.Context, query string) (int, []byte, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/results?query="+url.QueryEscape(query), nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, body, nil
 }
 
 // decodeRows parses an NDJSON response into row DTOs. A line that fails

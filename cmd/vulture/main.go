@@ -12,6 +12,13 @@
 //     warm repeat adds no cache misses and serves the cold run's events
 //     as hits; sweepfront: each run merges exactly the plan's rows).
 //
+// With -store-dir the harness attaches a persistent result store to the
+// loopback target and extends the checks end to end: the warm repeat of
+// a fully stored plan must add zero store recomputes and at least one
+// store hit per row, and GET /v1/results coordinate queries must read
+// back a sample of the just-streamed rows byte-for-byte
+// (read-your-writes over the store's query surface).
+//
 // After verification it replays the verified specs at controlled
 // concurrency through a token-bucket rate limiter (internal/loadgen),
 // byte-checking every response under load, and reports p50/p99/p999
@@ -42,9 +49,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"backuppower/internal/core"
 	"backuppower/internal/fabric"
 	"backuppower/internal/grid"
 	"backuppower/internal/loadgen"
+	"backuppower/internal/resultstore"
 )
 
 func main() {
@@ -71,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxErrorRate := fs.Float64("max-error-rate", 0, "fail if the load-phase error rate exceeds this (0 = no errors allowed, negative = ungated)")
 	requestTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request deadline for verification and load requests")
 	noMetricsCheck := fs.Bool("no-metrics-check", false, "skip the /metrics delta check (required when other traffic shares the target)")
+	storeDir := fs.String("store-dir", "",
+		"attach a persistent result store to the -loopback target (adds store-delta and /v1/results read-your-writes checks)")
 	verbose := fs.Bool("v", false, "log each verified spec")
 
 	if err := fs.Parse(args); err != nil {
@@ -80,14 +91,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vulture: give exactly one of -target or -loopback")
 		return 2
 	}
+	if *storeDir != "" && *loopback == 0 {
+		fmt.Fprintln(stderr, "vulture: -store-dir requires -loopback (point a stored -target at its own -store-dir instead)")
+		return 2
+	}
 	if *specs < 1 && *duration <= 0 {
 		fmt.Fprintln(stderr, "vulture: -specs must be >= 1 (or use -duration)")
 		return 2
 	}
 
+	var store resultstore.Store
+	if *storeDir != "" {
+		disk, err := resultstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "vulture: -store-dir: %v\n", err)
+			return 1
+		}
+		store = disk
+		// The loopback workers are in-process, so attaching the store to
+		// the process globals covers them and the checker's local runner
+		// alike — every pathway the harness compares reads and writes the
+		// same store.
+		core.SetResultStore(store)
+		grid.SetRowStore(store)
+		defer func() {
+			grid.SetRowStore(nil)
+			core.SetResultStore(nil)
+			store.Close()
+		}()
+	}
+
 	base := *target
 	if *loopback > 0 {
-		url, cleanup, err := startLoopback(*loopback, *servers, *concurrency)
+		url, cleanup, err := startLoopback(*loopback, *servers, *concurrency, store)
 		if err != nil {
 			fmt.Fprintf(stderr, "vulture: %v\n", err)
 			return 1
@@ -199,7 +235,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // coordinator serving fabric.Handler on an ephemeral loopback port. Both
 // speak real HTTP over real sockets, so the harness exercises the exact
 // serving path a deployment would.
-func startLoopback(n, servers, concurrency int) (string, func(), error) {
+func startLoopback(n, servers, concurrency int, store resultstore.Store) (string, func(), error) {
 	inflight := 4 * concurrency
 	if inflight < 64 {
 		inflight = 64 // headroom so the load phase never trips 429s
@@ -207,6 +243,7 @@ func startLoopback(n, servers, concurrency int) (string, func(), error) {
 	urls, stopWorkers, err := fabric.Loopback(n, fabric.LoopbackConfig{
 		Servers:     servers,
 		MaxInflight: inflight,
+		Store:       store,
 	})
 	if err != nil {
 		return "", nil, err
@@ -214,7 +251,7 @@ func startLoopback(n, servers, concurrency int) (string, func(), error) {
 	if n == 1 {
 		return urls[0], stopWorkers, nil
 	}
-	f, err := fabric.New(fabric.Options{Workers: urls, DefaultServers: servers})
+	f, err := fabric.New(fabric.Options{Workers: urls, DefaultServers: servers, Store: store})
 	if err != nil {
 		stopWorkers()
 		return "", nil, err

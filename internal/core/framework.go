@@ -22,6 +22,7 @@ import (
 	"backuppower/internal/cluster"
 	"backuppower/internal/cost"
 	"backuppower/internal/genset"
+	"backuppower/internal/resultstore"
 	"backuppower/internal/sweep"
 	"backuppower/internal/technique"
 	"backuppower/internal/units"
@@ -75,9 +76,9 @@ func (f *Framework) Evaluate(b cost.Backup, tech technique.Technique, w workload
 	if !keyable(scn) {
 		return cluster.SimulateAggregate(scn)
 	}
-	return scenarioCache.Do(f.scenarioCacheKey(scn), func() (cluster.Result, error) {
-		return cluster.SimulateAggregate(scn)
-	})
+	return scenarioStore().Do(f.scenarioCacheKey(scn),
+		func() resultstore.Key { return stableScenarioKey(scn) },
+		func() (cluster.Result, error) { return cluster.SimulateAggregate(scn) })
 }
 
 // EvaluateCtx is Evaluate with cancellation: the simulation itself is

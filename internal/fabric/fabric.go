@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"backuppower/internal/grid"
+	"backuppower/internal/resultstore"
 )
 
 // Options parameterize a Fabric.
@@ -88,6 +89,13 @@ type Options struct {
 	// WorkerWidth is the per-request sweep width workers are asked for
 	// (0 = worker default). Output bytes are identical at any width.
 	WorkerWidth int
+
+	// Store, when set, is the coordinator's persistent result store
+	// (-store-dir): GET /v1/results is mounted over it on the Handler
+	// surface and its counters are appended to the metrics document.
+	// Attaching the store to the evaluation pathway (core.SetResultStore /
+	// grid.SetRowStore on the workers) is the caller's job.
+	Store resultstore.Store
 
 	// QuarantineAfter is how many consecutive failures sideline a worker;
 	// QuarantineFor how long (0 = DefaultQuarantineAfter / -For). A fully
@@ -167,10 +175,12 @@ func New(opt Options) (*Fabric, error) {
 			}
 		}
 	}
+	m := newMetrics(opt.Workers)
+	m.store = opt.Store
 	return &Fabric{
 		opt:     opt,
 		pool:    newPool(opt.Workers, opt.MaxInflightPerWorker, opt.QuarantineAfter, opt.QuarantineFor),
-		metrics: newMetrics(opt.Workers),
+		metrics: m,
 	}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"backuppower/internal/grid"
+	"backuppower/internal/httpapi"
 )
 
 // Handler returns the coordinator's serving surface: POST /v1/sweep
@@ -58,6 +59,12 @@ func (f *Fabric) Handler() http.Handler {
 		}
 	})
 	mux.Handle("GET /metrics", f.Metrics())
+	if f.opt.Store != nil {
+		// The coordinator serves reads over its own store through the
+		// exact handler backupd mounts, so the two surfaces return the
+		// same bytes for the same stored rows.
+		mux.Handle("GET /v1/results", httpapi.NewResultsHandler(f.opt.Store))
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write([]byte(`{"status":"ok"}` + "\n"))

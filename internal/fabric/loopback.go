@@ -9,6 +9,7 @@ import (
 
 	"backuppower/internal/core"
 	"backuppower/internal/httpapi"
+	"backuppower/internal/resultstore"
 )
 
 // LoopbackConfig parameterizes an in-process worker pool.
@@ -26,6 +27,12 @@ type LoopbackConfig struct {
 	MaxInflight int
 	// Timeout is each worker's per-request deadline (0 = 30s default).
 	Timeout time.Duration
+	// Store, when set, is mounted on each worker (GET /v1/results plus
+	// store counters on /metrics). Loopback workers are in-process, so a
+	// store attached to the process globals (core.SetResultStore /
+	// grid.SetRowStore) is already shared by all of them; this field only
+	// adds the serving surfaces.
+	Store resultstore.Store
 }
 
 // Loopback starts n in-process backupd workers on ephemeral loopback
@@ -60,6 +67,7 @@ func Loopback(n int, cfg LoopbackConfig) (urls []string, stop func(), err error)
 			MaxInflight: cfg.MaxInflight,
 			Timeout:     cfg.Timeout,
 			WorkerID:    fmt.Sprintf("loopback-%d", i),
+			Store:       cfg.Store,
 		})
 		if aerr != nil {
 			stop()

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -8,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"backuppower/internal/resultstore"
 )
 
 // Metrics is the coordinator's observability state, mirroring the
@@ -39,6 +42,11 @@ type Metrics struct {
 	mu       sync.Mutex
 	latTotal int
 	latRing  [latencyRingSize]time.Duration
+
+	// store, when non-nil, contributes the coordinator's persistent
+	// result store counters to the document (set only under -store-dir,
+	// so the store-less layout is unchanged).
+	store resultstore.Store
 }
 
 // latencyRingSize bounds how many shard latencies the quantile window
@@ -107,6 +115,11 @@ func (m *Metrics) Write(w io.Writer) {
 	fmt.Fprintf(w, `"shards":{"cancelled":%s,"dispatched":%s,"hedged":%s,"retried":%s},`,
 		m.shardsCancelled.String(), m.shardsDispatched.String(),
 		m.shardsHedged.String(), m.shardsRetried.String())
+	if m.store != nil {
+		if b, err := json.Marshal(m.store.Stats()); err == nil {
+			fmt.Fprintf(w, `"store":%s,`, b)
+		}
+	}
 	fmt.Fprintf(w, `"workers":{"dispatched":%s,"failed":%s,"ids":%s,"rows":%s}}`,
 		m.workerDispatched.String(), m.workerFailed.String(),
 		m.workerIDs.String(), m.workerRows.String())

@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+
+	"backuppower/internal/grid"
+	"backuppower/internal/resultstore"
+)
+
+// TestFabricWarmRerunServedFromStore runs the tentpole equivalence at
+// the fabric layer: three workers share one persistent row store (as
+// in-process loopback workers share the process globals), a cold
+// distributed sweep populates it, and a warm rerun is served entirely
+// from the store — zero recomputed rows, byte-identical merge.
+func TestFabricWarmRerunServedFromStore(t *testing.T) {
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.SetRowStore(store)
+	defer func() {
+		grid.SetRowStore(nil)
+		store.Close()
+	}()
+
+	spec := testSpec()
+	urls := newWorkers(t, 3, nil)
+	f, err := New(Options{
+		Workers:    urls,
+		ShardRows:  3,
+		HedgeAfter: -1,
+		Store:      store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cold bytes.Buffer
+	if err := f.Run(t.Context(), spec, &cold); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	st := store.Stats()
+	if int(st.RecomputesRows) != 24 || int(st.Puts) != 24 {
+		t.Fatalf("cold distributed run stats: %+v, want 24 recomputes and 24 puts", st)
+	}
+
+	var warm bytes.Buffer
+	if err := f.Run(t.Context(), spec, &warm); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !bytes.Equal(warm.Bytes(), cold.Bytes()) {
+		t.Fatal("warm distributed rerun diverged from the cold merge")
+	}
+	after := store.Stats()
+	if d := after.RecomputesRows - st.RecomputesRows; d != 0 {
+		t.Fatalf("warm rerun recomputed %d rows across the pool", d)
+	}
+	if d := after.Puts - st.Puts; d != 0 {
+		t.Fatalf("warm rerun re-put %d rows", d)
+	}
+	if d := after.HitsRows - st.HitsRows; int(d) != 24 {
+		t.Fatalf("warm rerun served %d store hits, want 24", d)
+	}
+}

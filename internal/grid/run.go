@@ -106,6 +106,12 @@ type RunOptions struct {
 // so a dense axis collapses into a handful of plan constructions and
 // segment walks. Units never span shard boundaries, keeping Progress
 // values and emission timing identical to the scalar dispatch.
+// With a row store attached (SetRowStore), each shard consults the store
+// first and dispatches only the rows it has never seen; stored rows merge
+// back at their plan positions, so output bytes, order, and Progress are
+// identical to a store-less run — a warm rerun just evaluates nothing.
+// Freshly computed rows write through, and a fully successful run seals
+// the store's write-ahead log into an immutable block.
 func (r *Runner) RunStream(ctx context.Context, plan *Plan, opts RunOptions, emit func(RowResult) error) error {
 	size := opts.ShardSize
 	if size <= 0 {
@@ -119,18 +125,41 @@ func (r *Runner) RunStream(ctx context.Context, plan *Plan, opts RunOptions, emi
 		}
 		shards = (n + size - 1) / size
 	}
+	store := rowStore()
 	done := 0
 	for start := 0; start < n; start += size {
 		end := start + size
 		if end > n {
 			end = n
 		}
-		units := groupUnits(plan.Points[start:end], opts.NoBatch)
+		pts := plan.Points[start:end]
+		coldPts := pts
+		var merged []RowResult
+		var coldPos []int
+		var st shardStoreState
+		if store != nil {
+			merged = make([]RowResult, len(pts))
+			coldPts, coldPos, st = consultStore(store, plan.Op, pts, merged)
+		}
+		units := groupUnits(coldPts, opts.NoBatch)
 		out, err := sweep.Map(ctx, units, func(ctx context.Context, unit []Point) ([]RowResult, error) {
 			return r.evalUnit(ctx, plan.Op, unit)
 		})
 		if err != nil {
 			return err
+		}
+		if store != nil {
+			// Scatter computed rows back to their shard positions and
+			// write them through.
+			k := 0
+			for _, rows := range out {
+				for i := range rows {
+					pos := coldPos[k]
+					merged[pos] = rows[i]
+					st.writeBack(store, plan.Op, pos, &merged[pos])
+					k++
+				}
+			}
 		}
 		done++
 		if opts.Progress != nil {
@@ -141,13 +170,28 @@ func (r *Runner) RunStream(ctx context.Context, plan *Plan, opts RunOptions, emi
 				Rows:     n,
 			})
 		}
-		for _, rows := range out {
-			for i := range rows {
-				if err := emit(rows[i]); err != nil {
+		if store != nil {
+			for i := range merged {
+				if err := emit(merged[i]); err != nil {
 					return err
 				}
 			}
+		} else {
+			// The store-less emit path is exactly the pre-store code: no
+			// merge buffer, no per-shard allocation.
+			for _, rows := range out {
+				for i := range rows {
+					if err := emit(rows[i]); err != nil {
+						return err
+					}
+				}
+			}
 		}
+	}
+	if store != nil {
+		// Seal is best-effort: a failure leaves rows in the WAL, where a
+		// reopen still replays them; Stats exposes the attempt counts.
+		_ = store.Seal()
 	}
 	return nil
 }

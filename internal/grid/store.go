@@ -1,0 +1,275 @@
+package grid
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"time"
+
+	"backuppower/internal/core"
+	"backuppower/internal/resultstore"
+)
+
+// rowStoreBox wraps the Store interface so it can sit behind an atomic
+// pointer (interfaces are not directly atomically swappable).
+type rowStoreBox struct{ s resultstore.Store }
+
+// rowStorePtr holds the process-global row store. Like core's scenario
+// tier it defaults to absent: the zero configuration dispatches every row
+// exactly as before the store existed.
+var rowStorePtr atomic.Pointer[rowStoreBox]
+
+// SetRowStore attaches (or, with nil, detaches) a persistent row store
+// consulted by every Runner before dispatch. Serving binaries call it
+// once at startup from -store-dir; the caller owns Close. The same
+// physical store typically also backs core.SetResultStore — the row
+// namespace ('R') and scenario namespace ('S') share one WAL and block
+// sequence without colliding.
+func SetRowStore(s resultstore.Store) {
+	if s == nil {
+		rowStorePtr.Store(nil)
+		return
+	}
+	rowStorePtr.Store(&rowStoreBox{s: s})
+}
+
+// rowStore returns the attached row store, or nil.
+func rowStore() resultstore.Store {
+	if b := rowStorePtr.Load(); b != nil {
+		return b.s
+	}
+	return nil
+}
+
+// storableRow reports whether a point can be fingerprinted for the
+// persistent store: its technique must be a flat comparable value (the
+// same rule core's memo cache applies) so the %#v rendering in
+// rowInvariant is deterministic. Non-storable rows simply dispatch as if
+// no store were attached.
+func storableRow(p *Point) bool {
+	return p.Technique == nil || reflect.TypeOf(p.Technique).Comparable()
+}
+
+// rowInvariant digests the outage-invariant row coordinates — everything
+// identifying the row except its outage and its plan-local index. The
+// index is deliberately excluded: the same point reached from two
+// different grid specs shares one stored row, and the index is re-stamped
+// at emission. The "row/v1" prefix versions the digest.
+func rowInvariant(op string, p *Point) [32]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "row/v1|op=%s|servers=%d|load=%#v|hascfg=%t|cfg=%#v|family=%s|tech=%T%#v",
+		op, p.Servers, p.Workload, p.HasConfig, p.Config, p.Family, p.Technique, p.Technique)
+	var d [32]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// rowKey is the persistent store key for one plan row.
+func rowKey(op string, p *Point) resultstore.Key {
+	return resultstore.NewKey(resultstore.NSRow, rowInvariant(op, p), int64(p.Outage))
+}
+
+// storedFromRow converts a successfully evaluated row to its persistent
+// form. ok is false for rows that are not stored: row-level errors
+// (reruns retry them) and traced results (never produced by the runner).
+func storedFromRow(op string, row *RowResult) (resultstore.StoredRow, bool) {
+	if row.Err != nil {
+		return resultstore.StoredRow{}, false
+	}
+	p := &row.Point
+	sr := resultstore.StoredRow{
+		Op:        op,
+		Servers:   p.Servers,
+		Workload:  p.Workload.Name,
+		HasConfig: p.HasConfig,
+		Family:    p.Family,
+		OutageNS:  int64(p.Outage),
+	}
+	if p.HasConfig {
+		sr.Config = p.Config.Name
+	}
+	if p.Technique != nil {
+		sr.Technique = p.Technique.Name()
+	}
+	switch op {
+	case OpSize:
+		sr.Feasible = row.Feasible
+		if row.Feasible {
+			sr.Sizing = &resultstore.StoredSizing{
+				Technique: row.Sizing.Technique,
+				Backup:    row.Sizing.Backup,
+				Result:    row.Sizing.Result,
+				NormCost:  row.Sizing.NormCost,
+			}
+		}
+	case OpBest:
+		sr.Best = row.Best
+		r := row.Result
+		sr.Result = &r
+	default: // OpEvaluate
+		r := row.Result
+		sr.Result = &r
+	}
+	return sr, true
+}
+
+// rowFromStored reconstructs a RowResult from a stored payload, cross-
+// checking the stored coordinates against the requesting point (the
+// 120-bit fingerprint makes a mismatch astronomically unlikely, but a
+// mismatch must degrade to a recompute, never to a wrong row). The
+// point — with its plan-local index — comes from the live plan, so the
+// emitted row is byte-identical to a cold evaluation.
+func rowFromStored(op string, p Point, sr *resultstore.StoredRow) (RowResult, bool) {
+	if sr.Op != op || sr.Servers != p.Servers || sr.Workload != p.Workload.Name ||
+		sr.HasConfig != p.HasConfig || sr.Family != p.Family || sr.OutageNS != int64(p.Outage) {
+		return RowResult{}, false
+	}
+	if p.HasConfig && sr.Config != p.Config.Name {
+		return RowResult{}, false
+	}
+	wantTech := ""
+	if p.Technique != nil {
+		wantTech = p.Technique.Name()
+	}
+	if sr.Technique != wantTech {
+		return RowResult{}, false
+	}
+	row := RowResult{Point: p}
+	switch op {
+	case OpSize:
+		row.Feasible = sr.Feasible
+		if sr.Feasible {
+			if sr.Sizing == nil {
+				return RowResult{}, false
+			}
+			row.Sizing = core.OperatingPoint{
+				Technique: sr.Sizing.Technique,
+				Backup:    sr.Sizing.Backup,
+				Result:    sr.Sizing.Result,
+				NormCost:  sr.Sizing.NormCost,
+			}
+		}
+	case OpBest:
+		if sr.Result == nil {
+			return RowResult{}, false
+		}
+		row.Best = sr.Best
+		row.Result = *sr.Result
+	default: // OpEvaluate
+		if sr.Result == nil {
+			return RowResult{}, false
+		}
+		row.Result = *sr.Result
+	}
+	return row, true
+}
+
+// DTOFromStored converts a stored row to the wire RowDTO shape — the
+// exact bytes the sweep surfaces stream for the same row, with Index 0
+// (stored rows are plan-independent; /v1/results readers identify rows by
+// coordinates, not position). Shared with httpapi so the read surface
+// cannot drift from the sweep encoding.
+func DTOFromStored(sr *resultstore.StoredRow) RowDTO {
+	d := RowDTO{
+		Op:        sr.Op,
+		Servers:   sr.Servers,
+		Workload:  sr.Workload,
+		Family:    sr.Family,
+		Technique: sr.Technique,
+		Outage:    time.Duration(sr.OutageNS).String(),
+	}
+	if sr.HasConfig {
+		d.Config = sr.Config
+	}
+	switch sr.Op {
+	case OpSize:
+		feasible := sr.Feasible
+		d.Feasible = &feasible
+		if sr.Sizing != nil {
+			d.Technique = sr.Sizing.Technique
+			d.NormCost = sr.Sizing.NormCost
+			b := NewBackupDTO(sr.Sizing.Backup)
+			d.Backup = &b
+			r := NewResultDTO(sr.Sizing.Result)
+			d.Result = &r
+		}
+	case OpBest:
+		d.Best = sr.Best
+		if sr.Result != nil {
+			r := NewResultDTO(*sr.Result)
+			d.Result = &r
+		}
+	default: // OpEvaluate
+		if sr.Result != nil {
+			r := NewResultDTO(*sr.Result)
+			d.Result = &r
+		}
+	}
+	return d
+}
+
+// shardStoreState carries one shard's store bookkeeping from the consult
+// pass to the write-back pass: the per-point keys (valid where keyed is
+// set) so cold rows write through without re-hashing.
+type shardStoreState struct {
+	keys  []resultstore.Key
+	keyed []bool
+}
+
+// consultStore splits a shard into warm rows (served from the store) and
+// cold points (still to dispatch). merged holds warm rows at their shard
+// positions; coldPts/coldPos list the rest in shard order. The invariant
+// digest is amortized across runs of batchable points, mirroring the
+// batch dispatch itself: a dense outage axis hashes its coordinates once.
+func consultStore(store resultstore.Store, op string, pts []Point, merged []RowResult) (coldPts []Point, coldPos []int, st shardStoreState) {
+	st = shardStoreState{
+		keys:  make([]resultstore.Key, len(pts)),
+		keyed: make([]bool, len(pts)),
+	}
+	var inv [32]byte
+	haveInv := false
+	for i := range pts {
+		p := &pts[i]
+		if !storableRow(p) {
+			haveInv = false
+			coldPts = append(coldPts, *p)
+			coldPos = append(coldPos, i)
+			continue
+		}
+		if !haveInv || (i > 0 && !batchable(&pts[i-1], p)) {
+			inv = rowInvariant(op, p)
+			haveInv = true
+		}
+		st.keys[i] = resultstore.NewKey(resultstore.NSRow, inv, int64(p.Outage))
+		st.keyed[i] = true
+		if payload, ok := store.Get(st.keys[i]); ok {
+			if sr, err := resultstore.DecodeRow(payload); err == nil {
+				if row, ok := rowFromStored(op, *p, &sr); ok {
+					merged[i] = row
+					continue
+				}
+			}
+		}
+		coldPts = append(coldPts, *p)
+		coldPos = append(coldPos, i)
+	}
+	return coldPts, coldPos, st
+}
+
+// writeBack persists one freshly computed row (best-effort; encode
+// refusals and write failures degrade to a future recompute).
+func (st *shardStoreState) writeBack(store resultstore.Store, op string, pos int, row *RowResult) {
+	if !st.keyed[pos] {
+		return
+	}
+	sr, ok := storedFromRow(op, row)
+	if !ok {
+		return
+	}
+	payload, err := resultstore.EncodeRow(sr)
+	if err != nil {
+		return
+	}
+	store.Put(st.keys[pos], payload)
+}

@@ -6,6 +6,7 @@
 //	POST /v1/size       min-cost UPS sizing for a technique (MinCostUPSCtx)
 //	POST /v1/best       best technique behind a fixed config (BestForConfigCtx)
 //	POST /v1/sweep      declarative grid spec -> streamed NDJSON rows (internal/grid)
+//	GET  /v1/results    query stored sweep rows (internal/resultstore; -store-dir only)
 //	GET  /v1/techniques registry of wire-exposed techniques and families
 //	GET  /v1/workloads  registry of calibrated workloads
 //	GET  /healthz       liveness
@@ -30,6 +31,7 @@ import (
 
 	"backuppower/internal/core"
 	"backuppower/internal/grid"
+	"backuppower/internal/resultstore"
 	"backuppower/internal/sweep"
 )
 
@@ -66,6 +68,13 @@ type Config struct {
 	// X-Backupd-Worker header so a fabric coordinator (cmd/sweepfront)
 	// can attribute shard streams to pool members in its metrics.
 	WorkerID string
+
+	// Store, when set, is the persistent result store behind -store-dir:
+	// GET /v1/results is mounted over it and its counters are appended to
+	// /metrics. Attaching the store to the evaluation pathway itself
+	// (core.SetResultStore / grid.SetRowStore) is the caller's job — the
+	// tiers are process-global while Servers are per-instance.
+	Store resultstore.Store
 }
 
 // Server is the HTTP serving surface over one shared framework.
@@ -119,6 +128,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/workloads", s.route("/v1/workloads", s.handleWorkloads))
 	mux.HandleFunc("GET /healthz", s.route("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.route("/metrics", s.handleMetrics))
+	if cfg.Store != nil {
+		s.metrics.store = cfg.Store
+		mux.HandleFunc("GET /v1/results", s.route("/v1/results", NewResultsHandler(cfg.Store)))
+	}
 	if cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

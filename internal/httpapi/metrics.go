@@ -1,11 +1,13 @@
 package httpapi
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
 
 	"backuppower/internal/core"
+	"backuppower/internal/resultstore"
 )
 
 // metrics is the server's observability state, built on expvar types but
@@ -25,6 +27,11 @@ type metrics struct {
 	inflight  expvar.Int
 	saturated expvar.Int
 	timeouts  expvar.Int
+
+	// store, when non-nil, contributes the persistent result store's
+	// counters to the document (set only for -store-dir servers, so the
+	// store-less layout is byte-for-byte what it always was).
+	store resultstore.Store
 }
 
 func newMetrics() *metrics {
@@ -60,6 +67,12 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, `"requests":%s,`, m.requests.String())
 	fmt.Fprintf(w, `"saturated":%s,`, m.saturated.String())
 	fmt.Fprintf(w, `"statuses":%s,`, m.statuses.String())
+	if m.store != nil {
+		b, err := json.Marshal(m.store.Stats())
+		if err == nil {
+			fmt.Fprintf(w, `"store":%s,`, b)
+		}
+	}
 	fmt.Fprintf(w, `"timeouts":%s}`, m.timeouts.String())
 	io.WriteString(w, "\n")
 }

@@ -1,0 +1,298 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"backuppower/internal/grid"
+	"backuppower/internal/resultstore"
+)
+
+// newStoreServer builds a server with a persistent row store attached to
+// both the serving surface (Config.Store mounts GET /v1/results and the
+// store metrics section) and the sweep write path (grid.SetRowStore),
+// mirroring how the daemons wire -store-dir.
+func newStoreServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.SetRowStore(store)
+	t.Cleanup(func() {
+		grid.SetRowStore(nil)
+		store.Close()
+	})
+	_, ts := newTestServer(t, func(cfg *Config) *Server {
+		cfg.Store = store
+		s, err := New(*cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	return ts
+}
+
+func getResults(t *testing.T, base, query, extra string) (*http.Response, []byte) {
+	t.Helper()
+	u := base + "/v1/results?query=" + url.QueryEscape(query) + extra
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func decodeResultRows(t *testing.T, body []byte) []grid.RowDTO {
+	t.Helper()
+	var rows []grid.RowDTO
+	for i, line := range strings.Split(strings.TrimSuffix(string(body), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var row grid.RowDTO
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("results line %d is not JSON: %v: %s", i, err, line)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TestResultsQueryEndpoint covers the read surface end to end: a sweep
+// populates the store over HTTP, then GET /v1/results serves the stored
+// rows back — filtered, limited, grouped, and frontier-reduced — with
+// deterministic bytes and typed 400s for bad queries.
+func TestResultsQueryEndpoint(t *testing.T) {
+	ts := newStoreServer(t)
+
+	resp, sweepBytes := post(t, ts.URL+"/v1/sweep", sweepBody(""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("populate sweep status %d: %s", resp.StatusCode, sweepBytes)
+	}
+
+	resp, all := getResults(t, ts.URL, "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty query status %d: %s", resp.StatusCode, all)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	rows := decodeResultRows(t, all)
+	if len(rows) != 24 {
+		t.Fatalf("empty query returned %d rows, want the 24 swept", len(rows))
+	}
+	for i, r := range rows {
+		if r.Index != 0 || r.Op != "evaluate" || r.Result == nil {
+			t.Fatalf("stored row %d malformed: %+v", i, r)
+		}
+	}
+
+	// Identical query, identical bytes: the canonical row order makes the
+	// read surface deterministic.
+	if _, again := getResults(t, ts.URL, "", ""); !bytes.Equal(again, all) {
+		t.Fatal("repeated empty query returned different bytes")
+	}
+
+	// Coordinate filter: every row is addressable by its full coordinate
+	// tuple, and the line served is the row's canonical encoding.
+	probe := rows[7]
+	q := fmt.Sprintf("op=%q && servers=%d && workload=%q && config=%q && technique=%q && outage=%s",
+		probe.Op, probe.Servers, probe.Workload, probe.Config, probe.Technique, probe.Outage)
+	resp, one := getResults(t, ts.URL, q, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinate query status %d: %s", resp.StatusCode, one)
+	}
+	if got := decodeResultRows(t, one); len(got) != 1 || got[0].Technique != probe.Technique || got[0].Outage != probe.Outage {
+		t.Fatalf("coordinate query returned %+v, want exactly %+v", got, probe)
+	}
+
+	// Range filter: only the 30m outage rows exceed 5m — 8 of 24.
+	resp, longOnly := getResults(t, ts.URL, "outage>5m", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range query status %d: %s", resp.StatusCode, longOnly)
+	}
+	if got := decodeResultRows(t, longOnly); len(got) != 8 {
+		t.Fatalf("outage>5m matched %d rows, want 8", len(got))
+	}
+
+	// limit= truncates the canonical order: the limited body is a strict
+	// prefix of the full one.
+	resp, limited := getResults(t, ts.URL, "", "&limit=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("limited query status %d: %s", resp.StatusCode, limited)
+	}
+	if got := decodeResultRows(t, limited); len(got) != 5 {
+		t.Fatalf("limit=5 returned %d rows", len(got))
+	}
+	if !bytes.HasPrefix(all, limited) {
+		t.Fatal("limited response is not a prefix of the full response")
+	}
+
+	// Group-by switches to a single JSON document.
+	resp, grouped := getResults(t, ts.URL, "| group by technique", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("group-by status %d: %s", resp.StatusCode, grouped)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("group-by content type %q", ct)
+	}
+	var groups GroupsResponse
+	if err := json.Unmarshal(grouped, &groups); err != nil {
+		t.Fatalf("group-by body: %v: %s", err, grouped)
+	}
+	if len(groups.Groups) != 2 {
+		t.Fatalf("got %d technique groups, want 2: %s", len(groups.Groups), grouped)
+	}
+	total := 0
+	for _, g := range groups.Groups {
+		total += g.Count
+	}
+	if total != 24 {
+		t.Fatalf("group counts sum to %d, want 24", total)
+	}
+
+	// Frontier keeps an ascending-cost, strictly-rising-perf subset.
+	resp, frontier := getResults(t, ts.URL, "| frontier", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frontier status %d: %s", resp.StatusCode, frontier)
+	}
+	fr := decodeResultRows(t, frontier)
+	if len(fr) == 0 || len(fr) > 24 {
+		t.Fatalf("frontier kept %d rows", len(fr))
+	}
+	lastCost, lastPerf := -1.0, -1.0
+	for i, r := range fr {
+		if r.Result == nil || r.Result.NormCost < lastCost || r.Result.Perf <= lastPerf {
+			t.Fatalf("frontier not monotone at %d: %s", i, frontier)
+		}
+		lastCost, lastPerf = r.Result.NormCost, r.Result.Perf
+	}
+}
+
+// TestResultsQueryErrors pins the typed 400 contract: query-language
+// rejections surface as the API's standard error body, with the
+// FieldError's code and field preserved.
+func TestResultsQueryErrors(t *testing.T) {
+	ts := newStoreServer(t)
+
+	cases := []struct {
+		name, query, extra, code, field string
+	}{
+		{"unknown field", "bogus=1", "", "unknown_field", "bogus"},
+		{"bad value", "servers=abc", "", "bad_value", "servers"},
+		{"bad op", "op>evaluate", "", "bad_op", "op"},
+		{"bad syntax", "op=a &&", "", "bad_syntax", "query"},
+		{"bad aggregate", "| group servers", "", "bad_aggregate", "query"},
+		{"bad limit", "", "&limit=0", "bad_value", "limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := getResults(t, ts.URL, tc.query, tc.extra)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			var eb ErrorBody
+			if err := json.Unmarshal(body, &eb); err != nil {
+				t.Fatalf("error body: %v: %s", err, body)
+			}
+			if eb.Error.Code != tc.code || eb.Error.Field != tc.field {
+				t.Fatalf("got %s/%s, want %s/%s: %s",
+					eb.Error.Code, eb.Error.Field, tc.code, tc.field, body)
+			}
+			if eb.Error.Message == "" {
+				t.Fatalf("empty error message: %s", body)
+			}
+		})
+	}
+}
+
+// TestResultsNotMountedWithoutStore pins that a store-less server keeps
+// its exact pre-store surface: /v1/results does not exist.
+func TestResultsNotMountedWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, body := getResults(t, ts.URL, "", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("store-less /v1/results status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// storeMetricsSnap decodes the /metrics store section (absent on
+// store-less servers).
+type storeMetricsSnap struct {
+	Store *resultstore.Stats `json:"store"`
+}
+
+func getStoreMetrics(t *testing.T, base string) storeMetricsSnap {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m storeMetricsSnap
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	return m
+}
+
+// TestStoreMetricsDeltas asserts the store counters through /metrics the
+// same way the vulture does: as deltas across a cold and a warm sweep,
+// never as absolute counts (the store is shared and cumulative). It also
+// pins that the store-less metrics document has no store section at all.
+func TestStoreMetricsDeltas(t *testing.T) {
+	_, bare := newTestServer(t, nil)
+	if m := getStoreMetrics(t, bare.URL); m.Store != nil {
+		t.Fatalf("store-less /metrics grew a store section: %+v", m.Store)
+	}
+
+	ts := newStoreServer(t)
+	m0 := getStoreMetrics(t, ts.URL)
+	if m0.Store == nil {
+		t.Fatal("/metrics missing the store section with a store attached")
+	}
+
+	resp, cold := post(t, ts.URL+"/v1/sweep", sweepBody(""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold sweep status %d: %s", resp.StatusCode, cold)
+	}
+	m1 := getStoreMetrics(t, ts.URL)
+	if d := m1.Store.Puts - m0.Store.Puts; d != 24 {
+		t.Fatalf("cold sweep put %d rows, want 24", d)
+	}
+	if d := m1.Store.RecomputesRows - m0.Store.RecomputesRows; d != 24 {
+		t.Fatalf("cold sweep recomputed %d rows, want 24", d)
+	}
+
+	resp, warm := post(t, ts.URL+"/v1/sweep", sweepBody(""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm sweep status %d: %s", resp.StatusCode, warm)
+	}
+	if !bytes.Equal(warm, cold) {
+		t.Fatal("warm sweep bytes diverged from cold")
+	}
+	m2 := getStoreMetrics(t, ts.URL)
+	if d := m2.Store.RecomputesRows - m1.Store.RecomputesRows; d != 0 {
+		t.Fatalf("warm sweep recomputed %d rows", d)
+	}
+	if d := m2.Store.Puts - m1.Store.Puts; d != 0 {
+		t.Fatalf("warm sweep re-put %d rows", d)
+	}
+	if d := m2.Store.HitsRows - m1.Store.HitsRows; d != 24 {
+		t.Fatalf("warm sweep hit %d rows, want 24", d)
+	}
+}

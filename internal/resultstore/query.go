@@ -1,0 +1,582 @@
+package resultstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"backuppower/internal/units"
+)
+
+// The /v1/results query language: a conjunctive filter over row fields,
+// optionally piped into one aggregate.
+//
+//	query     = [ filter ] [ "|" aggregate ]
+//	filter    = cmp { "&&" cmp }
+//	cmp       = field op value
+//	op        = "==" | "=" | "!=" | ">=" | "<=" | ">" | "<"
+//	value     = quoted Go string | bare token (no spaces, '&', '|')
+//	aggregate = "group" "by" field | "frontier"
+//
+// Fields: op, workload, config, family, technique, best (strings;
+// equality ops only), servers (int), perf, norm_cost (float), outage,
+// downtime (durations, e.g. "10m" or "1h30m"), feasible, survived
+// (bools). An empty filter matches every row. A comparison against a
+// field a row does not carry (e.g. feasible on an evaluate row) matches
+// nothing — it never errors.
+//
+// "group by F" folds matching rows into per-key count/min/max/mean
+// summaries of perf and norm_cost; "frontier" keeps the min-cost-per-perf
+// rows (no other row has >= perf at <= cost with one strict), the paper's
+// cost/performance frontier served straight from the store.
+
+// FieldError is a typed query rejection: which field (or "query" for
+// structural errors), a stable machine code, and a human message. Its
+// shape mirrors grid's field errors so HTTP surfaces render both the
+// same way.
+type FieldError struct {
+	Code    string
+	Field   string
+	Message string
+}
+
+func (e *FieldError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("%s: %s: %s", e.Code, e.Field, e.Message)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+func queryErrf(code, field, format string, args ...any) *FieldError {
+	return &FieldError{Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// Field kinds.
+const (
+	fString = iota
+	fInt
+	fFloat
+	fDur
+	fBool
+)
+
+var queryFields = map[string]int{
+	"op": fString, "workload": fString, "config": fString, "family": fString,
+	"technique": fString, "best": fString,
+	"servers": fInt,
+	"perf":    fFloat, "norm_cost": fFloat,
+	"outage": fDur, "downtime": fDur,
+	"feasible": fBool, "survived": fBool,
+}
+
+// cmp is one compiled comparison.
+type cmp struct {
+	field string
+	kind  int
+	op    string
+	s     string
+	i     int64 // int, duration (ns)
+	f     float64
+	b     bool
+}
+
+// Aggregate kinds.
+const (
+	aggNone = iota
+	aggGroup
+	aggFrontier
+)
+
+// QueryPlan is a parsed query ready to Execute.
+type QueryPlan struct {
+	filters    []cmp
+	agg        int
+	groupField string
+}
+
+// Group is one "group by" output row: the group key plus count/min/max/
+// mean folds of perf and norm_cost over the rows that carry them. Field
+// order is the JSON key order.
+type Group struct {
+	Field    string  `json:"field"`
+	Key      string  `json:"key"`
+	Count    int     `json:"count"`
+	PerfMin  float64 `json:"perf_min"`
+	PerfMax  float64 `json:"perf_max"`
+	PerfMean float64 `json:"perf_mean"`
+	CostMin  float64 `json:"cost_min"`
+	CostMax  float64 `json:"cost_max"`
+	CostMean float64 `json:"cost_mean"`
+}
+
+// QueryOutput is an executed query: Rows for plain filters and frontier,
+// Groups for group-by.
+type QueryOutput struct {
+	Rows   []StoredRow
+	Groups []Group
+}
+
+// Grouped reports whether the plan ends in a group-by aggregate (its
+// Execute output is Groups, not Rows).
+func (p *QueryPlan) Grouped() bool { return p.agg == aggGroup }
+
+// ParseQuery compiles a query string. The returned error, when non-nil,
+// is always a *FieldError — arbitrary input parses or is rejected with a
+// typed error, never a panic (FuzzResultsQuery pins this).
+func ParseQuery(q string) (*QueryPlan, error) {
+	p := &qparser{s: q}
+	plan := &QueryPlan{}
+	p.ws()
+	for !p.eof() && p.peek() != '|' {
+		c, err := p.cmp()
+		if err != nil {
+			return nil, err
+		}
+		plan.filters = append(plan.filters, c)
+		p.ws()
+		if p.eof() || p.peek() == '|' {
+			break
+		}
+		if !p.lit("&&") {
+			return nil, queryErrf("bad_syntax", "query", "expected '&&', '|' or end at offset %d", p.i)
+		}
+		p.ws()
+		if p.eof() || p.peek() == '|' {
+			return nil, queryErrf("bad_syntax", "query", "dangling '&&'")
+		}
+	}
+	if !p.eof() && p.peek() == '|' {
+		p.i++
+		p.ws()
+		word := p.ident()
+		switch word {
+		case "frontier":
+			plan.agg = aggFrontier
+		case "group":
+			p.ws()
+			if by := p.ident(); by != "by" {
+				return nil, queryErrf("bad_aggregate", "query", "expected 'group by <field>'")
+			}
+			p.ws()
+			field := p.ident()
+			if field == "" {
+				return nil, queryErrf("bad_aggregate", "query", "expected 'group by <field>'")
+			}
+			if _, ok := queryFields[field]; !ok {
+				return nil, queryErrf("unknown_field", field, "unknown group-by field %q", field)
+			}
+			plan.agg = aggGroup
+			plan.groupField = field
+		default:
+			return nil, queryErrf("bad_aggregate", "query", "unknown aggregate %q (want 'group by <field>' or 'frontier')", word)
+		}
+		p.ws()
+		if !p.eof() {
+			return nil, queryErrf("bad_syntax", "query", "trailing input after aggregate at offset %d", p.i)
+		}
+	}
+	return plan, nil
+}
+
+type qparser struct {
+	s string
+	i int
+}
+
+func (p *qparser) eof() bool  { return p.i >= len(p.s) }
+func (p *qparser) peek() byte { return p.s[p.i] }
+
+func (p *qparser) ws() {
+	for !p.eof() && (p.s[p.i] == ' ' || p.s[p.i] == '\t' || p.s[p.i] == '\n' || p.s[p.i] == '\r') {
+		p.i++
+	}
+}
+
+func (p *qparser) lit(l string) bool {
+	if strings.HasPrefix(p.s[p.i:], l) {
+		p.i += len(l)
+		return true
+	}
+	return false
+}
+
+func (p *qparser) ident() string {
+	start := p.i
+	for !p.eof() {
+		c := p.s[p.i]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.i++
+			continue
+		}
+		break
+	}
+	return p.s[start:p.i]
+}
+
+func (p *qparser) cmpOp() string {
+	for _, op := range [...]string{"==", "!=", ">=", "<=", ">", "<", "="} {
+		if p.lit(op) {
+			return op
+		}
+	}
+	return ""
+}
+
+// value reads a quoted Go string or a bare token.
+func (p *qparser) value() (string, error) {
+	if !p.eof() && p.s[p.i] == '"' {
+		end := p.i + 1
+		for end < len(p.s) {
+			if p.s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if p.s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(p.s) {
+			return "", queryErrf("bad_value", "query", "unterminated string at offset %d", p.i)
+		}
+		v, err := strconv.Unquote(p.s[p.i : end+1])
+		if err != nil {
+			return "", queryErrf("bad_value", "query", "bad quoted string at offset %d", p.i)
+		}
+		p.i = end + 1
+		return v, nil
+	}
+	start := p.i
+	for !p.eof() {
+		c := p.s[p.i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '&' || c == '|' {
+			break
+		}
+		p.i++
+	}
+	if p.i == start {
+		return "", queryErrf("bad_value", "query", "missing value at offset %d", start)
+	}
+	return p.s[start:p.i], nil
+}
+
+func (p *qparser) cmp() (cmp, error) {
+	p.ws()
+	field := p.ident()
+	if field == "" {
+		return cmp{}, queryErrf("bad_syntax", "query", "expected a field name at offset %d", p.i)
+	}
+	kind, ok := queryFields[field]
+	if !ok {
+		return cmp{}, queryErrf("unknown_field", field, "unknown field %q", field)
+	}
+	p.ws()
+	op := p.cmpOp()
+	if op == "" {
+		return cmp{}, queryErrf("bad_op", field, "expected a comparison operator after %q", field)
+	}
+	if op == "==" {
+		op = "="
+	}
+	p.ws()
+	raw, err := p.value()
+	if err != nil {
+		return cmp{}, err
+	}
+	c := cmp{field: field, kind: kind, op: op}
+	ordered := op != "=" && op != "!="
+	switch kind {
+	case fString:
+		if ordered {
+			return cmp{}, queryErrf("bad_op", field, "string field %q supports only = and !=", field)
+		}
+		c.s = raw
+	case fBool:
+		if ordered {
+			return cmp{}, queryErrf("bad_op", field, "bool field %q supports only = and !=", field)
+		}
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return cmp{}, queryErrf("bad_value", field, "%q is not a bool", raw)
+		}
+		c.b = b
+	case fInt:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return cmp{}, queryErrf("bad_value", field, "%q is not an integer", raw)
+		}
+		c.i = n
+	case fFloat:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return cmp{}, queryErrf("bad_value", field, "%q is not a number", raw)
+		}
+		c.f = f
+	case fDur:
+		d, err := units.ParseDuration(raw)
+		if err != nil {
+			return cmp{}, queryErrf("bad_value", field, "%q is not a duration", raw)
+		}
+		c.i = int64(d)
+	}
+	return c, nil
+}
+
+// fieldOf extracts a row's value for one field. present is false when the
+// row does not carry the field (a best row has no feasible, an
+// infeasible size row has no perf).
+func fieldOf(r *StoredRow, field string) (s string, i int64, f float64, b bool, present bool) {
+	switch field {
+	case "op":
+		return r.Op, 0, 0, false, true
+	case "workload":
+		return r.Workload, 0, 0, false, true
+	case "config":
+		return r.Config, 0, 0, false, r.HasConfig
+	case "family":
+		return r.Family, 0, 0, false, r.Family != ""
+	case "technique":
+		if r.Sizing != nil {
+			return r.Sizing.Technique, 0, 0, false, true
+		}
+		return r.Technique, 0, 0, false, r.Technique != ""
+	case "best":
+		return r.Best, 0, 0, false, r.Best != ""
+	case "servers":
+		return "", int64(r.Servers), 0, false, true
+	case "outage":
+		return "", r.OutageNS, 0, false, true
+	case "feasible":
+		return "", 0, 0, r.Feasible, r.Op == "size"
+	case "survived":
+		if res := r.effResult(); res != nil {
+			return "", 0, 0, res.Survived, true
+		}
+	case "perf":
+		if res := r.effResult(); res != nil {
+			return "", 0, res.Perf, false, true
+		}
+	case "norm_cost":
+		if c, ok := r.normCost(); ok {
+			return "", 0, c, true, true
+		}
+	case "downtime":
+		if res := r.effResult(); res != nil {
+			return "", int64(res.Downtime), 0, false, true
+		}
+	}
+	return "", 0, 0, false, false
+}
+
+func (c *cmp) match(r *StoredRow) bool {
+	s, i, f, b, present := fieldOf(r, c.field)
+	if !present {
+		return false
+	}
+	switch c.kind {
+	case fString:
+		if c.op == "=" {
+			return s == c.s
+		}
+		return s != c.s
+	case fBool:
+		if c.op == "=" {
+			return b == c.b
+		}
+		return b != c.b
+	case fInt, fDur:
+		return ordCmp(i, c.i, c.op)
+	default:
+		return ordCmp(f, c.f, c.op)
+	}
+}
+
+func ordCmp[T int64 | float64](a, b T, op string) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	case "<":
+		return a < b
+	default: // "<"= guaranteed by parser
+		return a <= b
+	}
+}
+
+// Execute runs the plan over rows: filter, canonical sort, aggregate.
+// Output order is deterministic for any input order.
+func (p *QueryPlan) Execute(rows []StoredRow) QueryOutput {
+	var kept []StoredRow
+	for i := range rows {
+		ok := true
+		for j := range p.filters {
+			if !p.filters[j].match(&rows[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, rows[i])
+		}
+	}
+	sortRows(kept)
+	switch p.agg {
+	case aggGroup:
+		return QueryOutput{Groups: groupBy(kept, p.groupField)}
+	case aggFrontier:
+		return QueryOutput{Rows: frontier(kept)}
+	default:
+		return QueryOutput{Rows: kept}
+	}
+}
+
+// sortRows orders rows canonically: op, servers, workload, config,
+// family, technique, outage, best.
+func sortRows(rows []StoredRow) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		x, y := &rows[a], &rows[b]
+		if x.Op != y.Op {
+			return x.Op < y.Op
+		}
+		if x.Servers != y.Servers {
+			return x.Servers < y.Servers
+		}
+		if x.Workload != y.Workload {
+			return x.Workload < y.Workload
+		}
+		if x.Config != y.Config {
+			return x.Config < y.Config
+		}
+		if x.Family != y.Family {
+			return x.Family < y.Family
+		}
+		if x.Technique != y.Technique {
+			return x.Technique < y.Technique
+		}
+		if x.OutageNS != y.OutageNS {
+			return x.OutageNS < y.OutageNS
+		}
+		return x.Best < y.Best
+	})
+}
+
+// groupKey formats a row's group-by key canonically.
+func groupKey(r *StoredRow, field string) (string, bool) {
+	s, i, f, b, present := fieldOf(r, field)
+	if !present {
+		return "", false
+	}
+	switch queryFields[field] {
+	case fString:
+		return s, true
+	case fInt:
+		return strconv.FormatInt(i, 10), true
+	case fDur:
+		return time.Duration(i).String(), true
+	case fBool:
+		return strconv.FormatBool(b), true
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64), true
+	}
+}
+
+func groupBy(rows []StoredRow, field string) []Group {
+	type acc struct {
+		g       Group
+		perfN   int
+		perfSum float64
+		costN   int
+		costSum float64
+	}
+	byKey := map[string]*acc{}
+	var order []string
+	for i := range rows {
+		key, ok := groupKey(&rows[i], field)
+		if !ok {
+			continue
+		}
+		a := byKey[key]
+		if a == nil {
+			a = &acc{g: Group{Field: field, Key: key}}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.g.Count++
+		if res := rows[i].effResult(); res != nil {
+			if a.perfN == 0 || res.Perf < a.g.PerfMin {
+				a.g.PerfMin = res.Perf
+			}
+			if a.perfN == 0 || res.Perf > a.g.PerfMax {
+				a.g.PerfMax = res.Perf
+			}
+			a.perfN++
+			a.perfSum += res.Perf
+		}
+		if c, ok := rows[i].normCost(); ok {
+			if a.costN == 0 || c < a.g.CostMin {
+				a.g.CostMin = c
+			}
+			if a.costN == 0 || c > a.g.CostMax {
+				a.g.CostMax = c
+			}
+			a.costN++
+			a.costSum += c
+		}
+	}
+	sort.Strings(order)
+	out := make([]Group, 0, len(order))
+	for _, key := range order {
+		a := byKey[key]
+		if a.perfN > 0 {
+			a.g.PerfMean = a.perfSum / float64(a.perfN)
+		}
+		if a.costN > 0 {
+			a.g.CostMean = a.costSum / float64(a.costN)
+		}
+		out = append(out, a.g)
+	}
+	return out
+}
+
+// frontier keeps the non-dominated min-cost-per-perf rows: no other row
+// has perf >= and cost <= with at least one strict. Rows without both a
+// perf and a cost (infeasible size rows) are dropped. Output is sorted by
+// ascending cost (descending perf breaks ties), so walking the result
+// reads as "each extra dollar buys this much performance".
+func frontier(rows []StoredRow) []StoredRow {
+	type pt struct {
+		perf, cost float64
+		idx        int
+	}
+	var pts []pt
+	for i := range rows {
+		res := rows[i].effResult()
+		c, ok := rows[i].normCost()
+		if res == nil || !ok {
+			continue
+		}
+		pts = append(pts, pt{perf: res.Perf, cost: c, idx: i})
+	}
+	sort.SliceStable(pts, func(a, b int) bool {
+		if pts[a].cost != pts[b].cost {
+			return pts[a].cost < pts[b].cost
+		}
+		return pts[a].perf > pts[b].perf
+	})
+	var out []StoredRow
+	best := -1.0
+	for _, p := range pts {
+		if p.perf > best {
+			out = append(out, rows[p.idx])
+			best = p.perf
+		}
+	}
+	return out
+}

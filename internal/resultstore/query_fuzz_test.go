@@ -1,0 +1,66 @@
+package resultstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzResultsQuery pins the query language's contract: arbitrary input
+// either parses to an executable plan or is rejected with a typed
+// *FieldError — never a panic, never an untyped error. Parsed plans must
+// execute over a representative row set without panicking, and produce
+// rows or groups consistent with Grouped().
+func FuzzResultsQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		`technique="Sleep" && outage>10m`,
+		`op=size && feasible=true | group by technique`,
+		`perf>=0.5 && norm_cost<2.0 | frontier`,
+		`servers!=8 && workload!="specjbb"`,
+		`downtime<=1h30m && survived=true`,
+		`op == "evaluate" && config != "NoDG"`,
+		"| frontier",
+		"| group by outage",
+		"op=a &&",
+		"bogus=1",
+		`workload="unterminated`,
+		"perf>>1",
+		"outage=10mm",
+		"\x00\xff && |",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	rows := []StoredRow{
+		evalRow(8, "specjbb", "NoDG", "Sleep", 5*time.Minute, 0.8, 1.0),
+		evalRow(16, "websearch", "Full", "Baseline", time.Hour, 0.95, 2.0),
+		sizeRow(8, "specjbb", "Hibernate", 10*time.Minute, true, 0.7),
+		sizeRow(8, "specjbb", "Hibernate", 2*time.Hour, false, 0),
+		{V: rowSchemaV, Op: "best", Servers: 8, Workload: "specjbb", Best: "Sleep"},
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		plan, err := ParseQuery(q)
+		if err != nil {
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("ParseQuery(%q): untyped error %T: %v", q, err, err)
+			}
+			if fe.Code == "" || fe.Field == "" || fe.Message == "" {
+				t.Fatalf("ParseQuery(%q): incomplete FieldError %+v", q, fe)
+			}
+			return
+		}
+		out := plan.Execute(rows)
+		if plan.Grouped() {
+			if out.Rows != nil {
+				t.Fatalf("%q: grouped plan returned rows", q)
+			}
+		} else if out.Groups != nil {
+			t.Fatalf("%q: row plan returned groups", q)
+		}
+		if len(out.Rows) > len(rows) {
+			t.Fatalf("%q: filter grew the row set", q)
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package resultstore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"backuppower/internal/cluster"
+)
+
+func evalRow(servers int, wl, cfg, tech string, outage time.Duration, perf, normCost float64) StoredRow {
+	return StoredRow{
+		V: rowSchemaV, Op: "evaluate", Servers: servers, Workload: wl,
+		Config: cfg, HasConfig: cfg != "", Technique: tech, OutageNS: int64(outage),
+		Result: &cluster.Result{
+			Perf: perf, Cost: normCost, Survived: perf > 0,
+			Downtime: outage / 4,
+		},
+	}
+}
+
+func sizeRow(servers int, wl, tech string, outage time.Duration, feasible bool, normCost float64) StoredRow {
+	r := StoredRow{
+		V: rowSchemaV, Op: "size", Servers: servers, Workload: wl,
+		Technique: tech, OutageNS: int64(outage), Feasible: feasible,
+	}
+	if feasible {
+		r.Sizing = &StoredSizing{
+			Technique: tech, NormCost: normCost,
+			Result: cluster.Result{Perf: 0.9, Survived: true, Downtime: time.Hour},
+		}
+	}
+	return r
+}
+
+func queryRows() []StoredRow {
+	return []StoredRow{
+		evalRow(8, "specjbb", "NoDG", "Sleep", 5*time.Minute, 0.80, 1.0),
+		evalRow(8, "specjbb", "NoDG", "Sleep", 30*time.Minute, 0.40, 1.0),
+		evalRow(8, "specjbb", "NoDG", "Baseline", 30*time.Minute, 0.95, 1.4),
+		evalRow(16, "websearch", "Full", "Sleep", 30*time.Minute, 0.55, 2.0),
+		sizeRow(8, "specjbb", "Hibernate", 10*time.Minute, true, 0.7),
+		sizeRow(8, "specjbb", "Hibernate", 2*time.Hour, false, 0),
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	cases := []struct {
+		q, code, field string
+	}{
+		{"bogus=1", "unknown_field", "bogus"},
+		{"op>evaluate", "bad_op", "op"},
+		{"feasible>=true", "bad_op", "feasible"},
+		{"servers=abc", "bad_value", "servers"},
+		{"perf=notafloat", "bad_value", "perf"},
+		{"outage=xyz", "bad_value", "outage"},
+		{"feasible=maybe", "bad_value", "feasible"},
+		{"op=", "bad_value", "query"},
+		{"=x", "bad_syntax", "query"},
+		{"op=a &&", "bad_syntax", "query"},
+		{"op=a && | frontier", "bad_syntax", "query"},
+		{"op=a servers=1", "bad_syntax", "query"},
+		{"op=a | nonsense", "bad_aggregate", "query"},
+		{"| group by bogus", "unknown_field", "bogus"},
+		{"| group servers", "bad_aggregate", "query"},
+		{"op=a | frontier extra", "bad_syntax", "query"},
+		{`workload="unterminated`, "bad_value", "query"},
+		{"technique!", "bad_op", "technique"},
+	}
+	for _, tc := range cases {
+		_, err := ParseQuery(tc.q)
+		if err == nil {
+			t.Errorf("%q: accepted", tc.q)
+			continue
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Errorf("%q: untyped error %T", tc.q, err)
+			continue
+		}
+		if fe.Code != tc.code || fe.Field != tc.field {
+			t.Errorf("%q: got %s/%s, want %s/%s", tc.q, fe.Code, fe.Field, tc.code, tc.field)
+		}
+	}
+}
+
+func TestQueryFilterExecute(t *testing.T) {
+	rows := queryRows()
+	run := func(q string) []StoredRow {
+		t.Helper()
+		plan, err := ParseQuery(q)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", q, err)
+		}
+		if plan.Grouped() {
+			t.Fatalf("%q unexpectedly grouped", q)
+		}
+		return plan.Execute(rows).Rows
+	}
+
+	if got := run(""); len(got) != len(rows) {
+		t.Fatalf("empty query matched %d of %d rows", len(got), len(rows))
+	}
+	if got := run(`technique="Sleep" && outage>10m`); len(got) != 2 {
+		t.Fatalf("Sleep && outage>10m matched %d rows, want 2", len(got))
+	} else {
+		for _, r := range got {
+			if r.Technique != "Sleep" || r.OutageNS <= int64(10*time.Minute) {
+				t.Fatalf("filter leaked row %+v", r)
+			}
+		}
+	}
+	// "==" is "=", quoted and bare values agree.
+	if a, b := run(`op=="size"`), run(`op=size`); len(a) != 2 || len(b) != 2 {
+		t.Fatalf("op equality: %d / %d rows, want 2 / 2", len(a), len(b))
+	}
+	if got := run(`workload!="specjbb"`); len(got) != 1 || got[0].Workload != "websearch" {
+		t.Fatalf("string != matched %v", got)
+	}
+	if got := run(`feasible=true`); len(got) != 1 || got[0].Sizing == nil {
+		t.Fatalf("feasible=true matched %d rows, want the 1 feasible size row", len(got))
+	}
+	// A field a row does not carry matches nothing: only size rows have
+	// feasible, so feasible=false excludes every evaluate row too.
+	if got := run(`feasible=false`); len(got) != 1 || got[0].Feasible {
+		t.Fatalf("feasible=false matched %v", got)
+	}
+	if got := run(`perf>=0.8`); len(got) != 3 {
+		t.Fatalf("perf>=0.8 matched %d rows, want 3 (incl. sized result)", len(got))
+	}
+	if got := run(`servers=16 && norm_cost<=2.0`); len(got) != 1 {
+		t.Fatalf("conjunction matched %d rows", len(got))
+	}
+	if got := run(`downtime<10m`); len(got) != 4 {
+		t.Fatalf("downtime<10m matched %d rows, want 4", len(got))
+	}
+}
+
+func TestQueryCanonicalOrder(t *testing.T) {
+	rows := queryRows()
+	plan, err := ParseQuery("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Execute(rows).Rows
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]StoredRow(nil), rows...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := plan.Execute(shuffled).Rows
+		for i := range want {
+			if got[i].Op != want[i].Op || got[i].Servers != want[i].Servers ||
+				got[i].Workload != want[i].Workload || got[i].Technique != want[i].Technique ||
+				got[i].OutageNS != want[i].OutageNS {
+				t.Fatalf("trial %d: order diverged at %d: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQueryGroupBy(t *testing.T) {
+	plan, err := ParseQuery(`op=evaluate | group by technique`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Grouped() {
+		t.Fatal("group-by plan not Grouped()")
+	}
+	out := plan.Execute(queryRows())
+	if out.Rows != nil {
+		t.Fatal("grouped output carried rows")
+	}
+	if len(out.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2: %+v", len(out.Groups), out.Groups)
+	}
+	// sort.Strings order: Baseline < Sleep.
+	if out.Groups[0].Key != "Baseline" || out.Groups[1].Key != "Sleep" {
+		t.Fatalf("group key order: %+v", out.Groups)
+	}
+	sleep := out.Groups[1]
+	if sleep.Count != 3 || sleep.PerfMin != 0.40 || sleep.PerfMax != 0.80 {
+		t.Fatalf("Sleep group folds: %+v", sleep)
+	}
+	wantMean := (0.80 + 0.40 + 0.55) / 3
+	if diff := sleep.PerfMean - wantMean; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Sleep perf mean %v, want %v", sleep.PerfMean, wantMean)
+	}
+	if sleep.CostMin != 1.0 || sleep.CostMax != 2.0 {
+		t.Fatalf("Sleep cost folds: %+v", sleep)
+	}
+}
+
+func TestQueryFrontier(t *testing.T) {
+	rows := []StoredRow{
+		evalRow(8, "w", "a", "T1", time.Minute, 0.50, 1.0),
+		evalRow(8, "w", "b", "T2", time.Minute, 0.40, 2.0), // dominated by T1
+		evalRow(8, "w", "c", "T3", time.Minute, 0.90, 2.5),
+		evalRow(8, "w", "d", "T4", time.Minute, 0.90, 3.0), // same perf, dearer
+		evalRow(8, "w", "e", "T5", time.Minute, 0.20, 0.5),
+		sizeRow(8, "w", "T6", 2*time.Hour, false, 0), // no perf/cost: dropped
+	}
+	plan, err := ParseQuery("| frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := plan.Execute(rows).Rows
+	if len(got) != 3 {
+		t.Fatalf("frontier kept %d rows, want 3", len(got))
+	}
+	wantTechs := []string{"T5", "T1", "T3"} // ascending cost
+	for i, r := range got {
+		if r.Technique != wantTechs[i] {
+			t.Fatalf("frontier[%d] = %s, want %s", i, r.Technique, wantTechs[i])
+		}
+	}
+	lastCost, lastPerf := -1.0, -1.0
+	for _, r := range got {
+		c, _ := r.normCost()
+		if c < lastCost || r.effResult().Perf <= lastPerf {
+			t.Fatalf("frontier not monotone: %+v", got)
+		}
+		lastCost, lastPerf = c, r.effResult().Perf
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	rows := queryRows()
+	for i, r := range rows {
+		payload, err := EncodeRow(r)
+		if err != nil {
+			t.Fatalf("row %d: EncodeRow: %v", i, err)
+		}
+		back, err := DecodeRow(payload)
+		if err != nil {
+			t.Fatalf("row %d: DecodeRow: %v", i, err)
+		}
+		if back.Op != r.Op || back.OutageNS != r.OutageNS || back.Technique != r.Technique {
+			t.Fatalf("row %d: coordinates did not round-trip: %+v", i, back)
+		}
+		if (back.Result == nil) != (r.Result == nil) || (back.Sizing == nil) != (r.Sizing == nil) {
+			t.Fatalf("row %d: payload shape did not round-trip", i)
+		}
+		if back.Result != nil && *back.Result != *r.Result {
+			t.Fatalf("row %d: result did not round-trip: %+v vs %+v", i, back.Result, r.Result)
+		}
+	}
+	// Unknown schema versions degrade to errors (graceful recompute).
+	if _, err := DecodeRow([]byte(`{"v":99,"op":"evaluate"}`)); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	// Traced results are refused.
+	r := rows[0]
+	r.Result = &cluster.Result{}
+	payload, _ := EncodeRow(r)
+	if payload == nil {
+		t.Fatal("plain result refused")
+	}
+}

@@ -1,0 +1,221 @@
+// Package resultstore is the tiered persistent result store behind the
+// evaluation pathway (ROADMAP item 2): the explicit contract that was
+// implicit in core's process-global sweep.Cache. The in-memory
+// singleflight tier (sweep.Cache, unchanged) keeps today's semantics bit
+// for bit; an optional on-disk tier underneath survives restarts, so a
+// sweep run once serves every later rerun, deployment, and read query
+// without re-simulating anything it has already seen.
+//
+// The disk tier is an LSM-lite: puts append to a CRC-framed write-ahead
+// log and land in a memtable; Seal (called when a sweep completes)
+// rewrites the memtable as an immutable sorted block and truncates the
+// WAL; background compaction folds accumulated blocks together. Open
+// replays the WAL, discarding a torn tail, and reads blocks newest-wins,
+// so a crash at any byte offset loses at most the unsynced WAL suffix —
+// never yields a torn or duplicated row.
+//
+// Keys are 128-bit stable content fingerprints (sha256-derived — unlike
+// the memory tier's maphash keys they do not change across processes)
+// with a leading namespace byte: 'S' for scenario-level payloads
+// (core.Evaluate results), 'R' for row-level payloads (grid sweep rows,
+// the unit /v1/results queries serve).
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"backuppower/internal/sweep"
+)
+
+// Namespace bytes, the first byte of every Key. Scenario and row payloads
+// share one WAL and block sequence; the namespace keeps their key spaces
+// (and hit/recompute accounting) apart.
+const (
+	NSScenario byte = 'S'
+	NSRow      byte = 'R'
+)
+
+// Key is a stable 128-bit content fingerprint: the namespace byte
+// followed by 15 bytes of a sha256-derived digest. Unlike the memory
+// tier's maphash keys (seeded per process), a Key is a pure function of
+// the scenario content, so it means the same thing across restarts and
+// across machines. A colliding pair of distinct contents (probability
+// ~n²/2¹²⁰) would silently alias, which we accept the same way
+// content-addressed stores do; decoded payloads carry their coordinates
+// and are cross-checked against the requesting row before use.
+type Key [16]byte
+
+// NewKey derives a key from an outage-invariant content digest plus the
+// outage duration. Splitting the outage out mirrors the memory tier's
+// cacheKey: batch evaluators digest the invariant content once per axis
+// and stamp each point's outage with one short hash instead of re-hashing
+// the whole scenario per point.
+func NewKey(ns byte, invariant [32]byte, outageNS int64) Key {
+	var buf [41]byte
+	buf[0] = ns
+	copy(buf[1:33], invariant[:])
+	binary.LittleEndian.PutUint64(buf[33:41], uint64(outageNS))
+	sum := sha256.Sum256(buf[:])
+	var k Key
+	k[0] = ns
+	copy(k[1:], sum[:15])
+	return k
+}
+
+// Store is the persistent tier's contract. Implementations must be safe
+// for concurrent use; Get/Put are best-effort (a corrupt or unwritable
+// record degrades to a miss or a dropped put, counted in Stats, never an
+// error surfaced to evaluation).
+type Store interface {
+	// Get returns the payload stored under k. A miss (or a corrupt
+	// record, counted) returns ok == false. The returned slice must be
+	// treated as immutable.
+	Get(k Key) (payload []byte, ok bool)
+
+	// Put stores payload under k, overwriting any previous value. The
+	// write is buffered in the WAL + memtable until the next Seal.
+	Put(k Key, payload []byte)
+
+	// Seal persists the memtable as an immutable sorted block and
+	// truncates the WAL — called when a sweep completes, so a finished
+	// run's rows survive even an unclean shutdown. A no-op when nothing
+	// is pending.
+	Seal() error
+
+	// Scan calls fn for every live key in the namespace, deduplicated
+	// newest-wins, in ascending key order. fn's error aborts the scan.
+	Scan(ns byte, fn func(k Key, payload []byte) error) error
+
+	// Stats reports the store's cumulative counters and current gauges.
+	Stats() Stats
+
+	// Close seals pending writes, waits for background compaction, and
+	// releases file handles.
+	Close() error
+}
+
+// Stats is a snapshot of a store's counters. Hits count Gets served;
+// Recomputes count Gets that missed at an evaluation site — each one is
+// (at most) one simulation the store could not save. The Rows/Scenarios
+// split follows the key namespace. Field order is the JSON key order
+// (alphabetical), pinned because /metrics documents are layout-stable.
+type Stats struct {
+	Blocks              int    `json:"blocks"`
+	Compactions         uint64 `json:"compactions"`
+	CorruptBlocks       uint64 `json:"corrupt_blocks"`
+	CorruptRecords      uint64 `json:"corrupt_records"`
+	Hits                uint64 `json:"hits"`
+	HitsRows            uint64 `json:"hits_rows"`
+	HitsScenarios       uint64 `json:"hits_scenarios"`
+	Keys                int    `json:"keys"`
+	PutErrors           uint64 `json:"put_errors"`
+	Puts                uint64 `json:"puts"`
+	Recomputes          uint64 `json:"recomputes"`
+	RecomputesRows      uint64 `json:"recomputes_rows"`
+	RecomputesScenarios uint64 `json:"recomputes_scenarios"`
+	Seals               uint64 `json:"seals"`
+	WALBytes            int64  `json:"wal_bytes"`
+	WALReplayed         uint64 `json:"wal_replayed"`
+	WALTornBytes        int64  `json:"wal_torn_bytes"`
+}
+
+// Tiered composes the in-memory singleflight tier over an optional
+// persistent Store. With no disk tier it delegates to the memory cache
+// directly, so attaching the type costs nothing when no -store-dir is
+// configured. With a disk tier, the warm/cold split reuses the Peek/Do
+// discipline: the memory tier is consulted first (a completed entry is a
+// hit, exactly as today), the disk tier fills memory misses (seeding the
+// memory entry through Do, which counts the same miss a computation
+// would), and only a miss in both tiers computes — then writes through to
+// disk. Memory-tier hit/miss accounting is therefore indistinguishable
+// from the store-less configuration.
+//
+// stable is called only when the disk tier is actually consulted, so the
+// (comparatively expensive) content digest is never paid on the memory
+// fast path. Errors are memoized in the memory tier only — the disk
+// stores results, never failures.
+type Tiered[K comparable, V any] struct {
+	mem    *sweep.Cache[K, V]
+	disk   Store
+	encode func(V) ([]byte, bool)
+	decode func([]byte) (V, bool)
+}
+
+// NewTiered builds a tiered view over mem and disk (disk may be nil).
+// encode/decode are the payload codec; encode returning false skips the
+// disk write (e.g. a value that cannot round-trip), decode returning
+// false degrades the disk hit to a miss.
+func NewTiered[K comparable, V any](mem *sweep.Cache[K, V], disk Store,
+	encode func(V) ([]byte, bool), decode func([]byte) (V, bool)) *Tiered[K, V] {
+	return &Tiered[K, V]{mem: mem, disk: disk, encode: encode, decode: decode}
+}
+
+// Persistent reports whether a disk tier is attached.
+func (t *Tiered[K, V]) Persistent() bool { return t.disk != nil }
+
+// Do returns the memoized result for memKey, consulting memory, then
+// disk, then computing. Concurrent callers for the same memKey share a
+// single computation (singleflight, inherited from the memory tier).
+func (t *Tiered[K, V]) Do(memKey K, stable func() Key, compute func() (V, error)) (V, error) {
+	if t.disk == nil {
+		return t.mem.Do(memKey, compute)
+	}
+	if v, err, ok := t.mem.Peek(memKey); ok {
+		return v, err
+	}
+	sk := stable()
+	if payload, ok := t.disk.Get(sk); ok {
+		if v, ok := t.decode(payload); ok {
+			// Seed memory through Do: the first seeder counts the miss a
+			// computation would have, a racing caller joins it as a hit.
+			return t.mem.Do(memKey, func() (V, error) { return v, nil })
+		}
+	}
+	v, err := t.mem.Do(memKey, compute)
+	if err == nil {
+		if payload, ok := t.encode(v); ok {
+			t.disk.Put(sk, payload)
+		}
+	}
+	return v, err
+}
+
+// Peek returns the memoized result without computing: memory first (a
+// completed entry is a hit), then disk (a disk hit seeds the memory tier,
+// counting the miss the skipped computation would have). ok is false only
+// when both tiers miss; as with the memory tier's Peek, that miss is not
+// counted here — the caller's seeding Do reports it.
+func (t *Tiered[K, V]) Peek(memKey K, stable func() Key) (V, error, bool) {
+	if v, err, ok := t.mem.Peek(memKey); ok {
+		return v, err, true
+	}
+	if t.disk == nil {
+		var zero V
+		return zero, nil, false
+	}
+	sk := stable()
+	if payload, ok := t.disk.Get(sk); ok {
+		if v, ok := t.decode(payload); ok {
+			v2, err := t.mem.Do(memKey, func() (V, error) { return v, nil })
+			return v2, err, true
+		}
+	}
+	var zero V
+	return zero, nil, false
+}
+
+// Seed memoizes an already-computed value: the memory entry goes through
+// Do (first seeder counts the miss, racers join as hits — the batch
+// evaluator's existing contract) and the value is written through to the
+// disk tier. The memoized value is returned: if a racing computation got
+// there first, its entry wins, exactly as in the memory-only path.
+func (t *Tiered[K, V]) Seed(memKey K, stable func() Key, v V) (V, error) {
+	got, err := t.mem.Do(memKey, func() (V, error) { return v, nil })
+	if t.disk != nil && err == nil {
+		if payload, ok := t.encode(got); ok {
+			t.disk.Put(stable(), payload)
+		}
+	}
+	return got, err
+}

@@ -1,0 +1,94 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"backuppower/internal/cluster"
+	"backuppower/internal/cost"
+)
+
+// rowSchemaV is the StoredRow payload schema version; DecodeRow rejects
+// anything else, so a future schema change degrades old rows to cache
+// misses (graceful recompute) instead of misreads.
+const rowSchemaV = 1
+
+// StoredRow is the persistent form of one grid sweep row: the row's
+// coordinates (everything but the plan-local index, which is re-stamped
+// at emission — the same point in two different grids shares one stored
+// row) plus the op-specific payload, carried as full model structs so
+// the wire DTO can be reconstructed byte-identically, including derived
+// fields like the backup's annual cost.
+type StoredRow struct {
+	V         int             `json:"v"`
+	Op        string          `json:"op"`
+	Servers   int             `json:"servers"`
+	Workload  string          `json:"workload"`
+	Config    string          `json:"config,omitempty"`
+	HasConfig bool            `json:"has_config,omitempty"`
+	Family    string          `json:"family,omitempty"`
+	Technique string          `json:"technique,omitempty"`
+	Best      string          `json:"best,omitempty"`
+	OutageNS  int64           `json:"outage_ns"`
+	Feasible  bool            `json:"feasible,omitempty"`
+	Result    *cluster.Result `json:"result,omitempty"`
+	Sizing    *StoredSizing   `json:"sizing,omitempty"`
+}
+
+// StoredSizing is a size row's payload: core.OperatingPoint's content
+// without importing core (which imports nothing from here — the store
+// sits below the framework).
+type StoredSizing struct {
+	Technique string         `json:"technique"`
+	Backup    cost.Backup    `json:"backup"`
+	Result    cluster.Result `json:"result"`
+	NormCost  float64        `json:"norm_cost"`
+}
+
+// EncodeRow serializes a row payload (stamping the schema version). An
+// error (a non-finite float, a result carrying traces) means the row is
+// simply not stored.
+func EncodeRow(r StoredRow) ([]byte, error) {
+	r.V = rowSchemaV
+	if r.Result != nil && (r.Result.PerfTrace != nil || r.Result.PowerTrace != nil) {
+		return nil, fmt.Errorf("resultstore: refusing to store a traced result")
+	}
+	return json.Marshal(r)
+}
+
+// DecodeRow parses a row payload, rejecting unknown schema versions.
+func DecodeRow(payload []byte) (StoredRow, error) {
+	var r StoredRow
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return StoredRow{}, err
+	}
+	if r.V != rowSchemaV {
+		return StoredRow{}, fmt.Errorf("resultstore: row schema v%d (want v%d)", r.V, rowSchemaV)
+	}
+	return r, nil
+}
+
+// effResult is the row's result for query purposes: the evaluation
+// result for evaluate/best rows, the sized operating point's result for
+// feasible size rows, nil otherwise.
+func (r *StoredRow) effResult() *cluster.Result {
+	if r.Result != nil {
+		return r.Result
+	}
+	if r.Sizing != nil {
+		return &r.Sizing.Result
+	}
+	return nil
+}
+
+// normCost is the row's cost-axis value: the sizing search's normalized
+// cost for size rows, the configuration's normalized cap-ex otherwise.
+func (r *StoredRow) normCost() (float64, bool) {
+	if r.Sizing != nil {
+		return r.Sizing.NormCost, true
+	}
+	if r.Result != nil {
+		return r.Result.Cost, true
+	}
+	return 0, false
+}

@@ -1,0 +1,162 @@
+package resultstore
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"backuppower/internal/sweep"
+)
+
+func stringCodec() (func(string) ([]byte, bool), func([]byte) (string, bool)) {
+	enc := func(v string) ([]byte, bool) { return []byte(v), true }
+	dec := func(p []byte) (string, bool) { return string(p), true }
+	return enc, dec
+}
+
+func stableFor(i int) func() Key {
+	return func() Key { return testKey(NSScenario, i) }
+}
+
+// panicStable pins the store-less fast path: with no disk tier attached,
+// the (expensive) stable-key thunk must never run.
+func panicStable() Key {
+	panic("stable key computed without a disk tier")
+}
+
+func TestTieredWithoutDiskMatchesMemoryTier(t *testing.T) {
+	mem := sweep.NewCache[int, string](64)
+	enc, dec := stringCodec()
+	tier := NewTiered(mem, nil, enc, dec)
+	if tier.Persistent() {
+		t.Fatal("nil disk reported persistent")
+	}
+	computes := 0
+	compute := func() (string, error) { computes++; return "v", nil }
+
+	if _, _, ok := tier.Peek(1, panicStable); ok {
+		t.Fatal("empty tier peeked a value")
+	}
+	if v, err := tier.Do(1, panicStable, compute); err != nil || v != "v" {
+		t.Fatalf("Do: %v %v", v, err)
+	}
+	if v, err := tier.Do(1, panicStable, compute); err != nil || v != "v" {
+		t.Fatalf("Do (warm): %v %v", v, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times", computes)
+	}
+	if v, err, ok := tier.Peek(1, panicStable); !ok || err != nil || v != "v" {
+		t.Fatalf("Peek: %v %v %v", v, err, ok)
+	}
+	if got, err := tier.Seed(2, panicStable, "seeded"); err != nil || got != "seeded" {
+		t.Fatalf("Seed: %v %v", got, err)
+	}
+	// Memory-tier accounting identical to direct sweep.Cache use: miss,
+	// hit, (Peek hit), miss (seed), in that order.
+	hits, misses := mem.Stats()
+	if misses != 2 || hits != 2 {
+		t.Fatalf("mem stats hits=%d misses=%d, want 2/2", hits, misses)
+	}
+}
+
+func TestTieredDiskFillsMemoryMisses(t *testing.T) {
+	disk := mustOpen(t, t.TempDir())
+	defer disk.Close()
+	enc, dec := stringCodec()
+
+	computes := 0
+	compute := func() (string, error) { computes++; return "computed", nil }
+
+	// First process: computes, writes through.
+	t1 := NewTiered(sweep.NewCache[int, string](64), disk, enc, dec)
+	if !t1.Persistent() {
+		t.Fatal("disk tier not reported persistent")
+	}
+	if v, err := t1.Do(1, stableFor(1), compute); err != nil || v != "computed" {
+		t.Fatalf("cold Do: %v %v", v, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times", computes)
+	}
+
+	// "Restart": fresh memory tier, same disk — Do serves from disk
+	// without computing, and the memory seed counts the miss a
+	// computation would have (metrics indistinguishable from store-less).
+	mem2 := sweep.NewCache[int, string](64)
+	t2 := NewTiered(mem2, disk, enc, dec)
+	if v, err := t2.Do(1, stableFor(1), compute); err != nil || v != "computed" {
+		t.Fatalf("warm-restart Do: %v %v", v, err)
+	}
+	if computes != 1 {
+		t.Fatal("disk hit still computed")
+	}
+	if hits, misses := mem2.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("seeding accounting hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	// Second consult is a pure memory hit, disk untouched.
+	before := disk.Stats().Hits
+	if v, err := t2.Do(1, stableFor(1), compute); err != nil || v != "computed" {
+		t.Fatalf("memory-warm Do: %v %v", v, err)
+	}
+	if disk.Stats().Hits != before {
+		t.Fatal("memory hit consulted the disk tier")
+	}
+
+	// Peek follows the same two-tier discipline on yet another restart.
+	t3 := NewTiered(sweep.NewCache[int, string](64), disk, enc, dec)
+	if v, err, ok := t3.Peek(1, stableFor(1)); !ok || err != nil || v != "computed" {
+		t.Fatalf("warm-restart Peek: %v %v %v", v, err, ok)
+	}
+	if _, _, ok := t3.Peek(2, stableFor(2)); ok {
+		t.Fatal("Peek invented a value for an unknown key")
+	}
+}
+
+func TestTieredErrorsNotPersisted(t *testing.T) {
+	disk := mustOpen(t, t.TempDir())
+	defer disk.Close()
+	enc, dec := stringCodec()
+	boom := errors.New("boom")
+
+	t1 := NewTiered(sweep.NewCache[int, string](64), disk, enc, dec)
+	if _, err := t1.Do(1, stableFor(1), func() (string, error) { return "", boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not returned: %v", err)
+	}
+	// Memoized in memory...
+	calls := 0
+	if _, err := t1.Do(1, stableFor(1), func() (string, error) { calls++; return "", boom }); !errors.Is(err, boom) || calls != 0 {
+		t.Fatalf("error not memoized in memory: %v calls=%d", err, calls)
+	}
+	// ...but never on disk: a restart recomputes.
+	t2 := NewTiered(sweep.NewCache[int, string](64), disk, enc, dec)
+	v, err := t2.Do(1, stableFor(1), func() (string, error) { return "recovered", nil })
+	if err != nil || v != "recovered" {
+		t.Fatalf("restart after error: %v %v", v, err)
+	}
+}
+
+func TestTieredSeedWritesThrough(t *testing.T) {
+	disk := mustOpen(t, t.TempDir())
+	defer disk.Close()
+	enc, dec := stringCodec()
+
+	t1 := NewTiered(sweep.NewCache[int, string](64), disk, enc, dec)
+	for i := 0; i < 5; i++ {
+		if got, err := t1.Seed(i, stableFor(i), "seed-"+strconv.Itoa(i)); err != nil || got != "seed-"+strconv.Itoa(i) {
+			t.Fatalf("Seed(%d): %v %v", i, got, err)
+		}
+	}
+	t2 := NewTiered(sweep.NewCache[int, string](64), disk, enc, dec)
+	for i := 0; i < 5; i++ {
+		v, err, ok := t2.Peek(i, stableFor(i))
+		if !ok || err != nil || v != "seed-"+strconv.Itoa(i) {
+			t.Fatalf("restart Peek(%d): %v %v %v", i, v, err, ok)
+		}
+	}
+	// A racing earlier entry wins over a later Seed, exactly as in the
+	// memory-only path.
+	if got, _ := t1.Seed(0, stableFor(0), "late"); got != "seed-0" {
+		t.Fatalf("Seed overwrote an existing entry: %q", got)
+	}
+}

@@ -4,13 +4,13 @@ GO ?= go
 # micro-primitives the PR-2 fast path optimized, the end-to-end regen, and
 # the outage-axis batch kernel pairs (batch vs scalar, grid with the
 # kernel on vs off).
-BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|BenchmarkMinCostSizing|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkFullRegen|BenchmarkOutageBatch|BenchmarkOutageScalar|BenchmarkSizingOutage|BenchmarkGridOutageAxis|BenchmarkFabricSweep
+BENCH_TRACKED := BenchmarkScenarioSimulate$$|BenchmarkScenarioSimulateAggregate|BenchmarkMinCostSizing|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkFullRegen|BenchmarkOutageBatch|BenchmarkOutageScalar|BenchmarkSizingOutage|BenchmarkGridOutageAxis|BenchmarkFabricSweep|BenchmarkProcessEval
 BENCH_COUNT   ?= 10
 BENCH_DIR     ?= .bench
 
-.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare batch-equivalence fabric-equivalence store-equivalence vulture-smoke
+.PHONY: ci vet build test race race-httpapi cover fuzz-smoke bench-smoke bench-alloc bench bench-baseline bench-compare batch-equivalence fabric-equivalence store-equivalence vulture-smoke process-equivalence
 
-ci: vet build race race-httpapi cover bench-alloc bench-smoke batch-equivalence fabric-equivalence store-equivalence vulture-smoke
+ci: vet build race race-httpapi cover bench-alloc bench-smoke batch-equivalence fabric-equivalence store-equivalence process-equivalence vulture-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,9 +33,11 @@ race-httpapi:
 # Coverage report plus per-package floors: the grid package is the trunk
 # every surface (HTTP, CLI, figures) routes through, so its statement
 # coverage must stay at or above 85%; the fabric is the distributed
-# serving path the vulture leans on, floored at 75%.
+# serving path the vulture leans on, floored at 75%; the outage package
+# now carries the stochastic process model, floored at 80%.
 COVER_FLOOR := 85.0
 FABRIC_COVER_FLOOR := 75.0
+OUTAGE_COVER_FLOOR := 80.0
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/grid/
 	@$(GO) tool cover -func=cover.out | tail -1
@@ -49,6 +51,12 @@ cover:
 	awk -v got="$$total" -v floor="$(FABRIC_COVER_FLOOR)" 'BEGIN { \
 		if (got+0 < floor+0) { printf "internal/fabric coverage %.1f%% is below the %.1f%% floor\n", got, floor; exit 1 } \
 		printf "internal/fabric coverage %.1f%% meets the %.1f%% floor\n", got, floor }'
+	$(GO) test -coverprofile=cover.out ./internal/outage/
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v got="$$total" -v floor="$(OUTAGE_COVER_FLOOR)" 'BEGIN { \
+		if (got+0 < floor+0) { printf "internal/outage coverage %.1f%% is below the %.1f%% floor\n", got, floor; exit 1 } \
+		printf "internal/outage coverage %.1f%% meets the %.1f%% floor\n", got, floor }'
 	@rm -f cover.out
 
 # Short live-fuzz runs of every fuzz target (the committed seed corpora
@@ -60,6 +68,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParsePower -fuzztime=$(FUZZTIME) ./internal/units
 	$(GO) test -fuzz=FuzzParseDuration -fuzztime=$(FUZZTIME) ./internal/units
 	$(GO) test -fuzz=FuzzRandomSpecCompiles -fuzztime=$(FUZZTIME) ./internal/grid
+	$(GO) test -fuzz=FuzzDecodeProcessSpec -fuzztime=$(FUZZTIME) ./internal/grid
+	$(GO) test -fuzz=FuzzProcessDraw -fuzztime=$(FUZZTIME) ./internal/outage
 	$(GO) test -fuzz=FuzzResultsQuery -fuzztime=$(FUZZTIME) ./internal/resultstore
 
 # Allocation-regression gate: the aggregate simulation path and the sizing
@@ -120,6 +130,25 @@ store-equivalence:
 	$(GO) run ./cmd/gridrun $$spec -store-dir $$tmp/store -o $$tmp/repaired.ndjson && \
 	cmp $$tmp/cold.ndjson $$tmp/repaired.ndjson && \
 	echo "store-equivalence: torn block degraded to recompute with identical bytes" ; \
+	status=$$?; rm -rf $$tmp; exit $$status
+
+# Process-level evaluation equivalence smoke (PR 10): first the focused
+# property tests — the degenerate single-draw fixed process reproducing
+# scalar Evaluate bit for bit, and draw determinism — re-run at -count=3
+# to pin the no-hidden-state contract; then the same process-axis spec
+# through cmd/gridrun at two parallel/shard geometries and through a
+# 3-worker sweepfront fabric, all three byte-identical.
+process-equivalence:
+	$(GO) test -run='TestMetamorphicDegenerateMatchesScalar' -count=1 ./internal/core/
+	$(GO) test -run='TestProcessDraw|TestEvaluateProcess' -count=3 ./internal/outage/ ./internal/core/
+	@tmp=$$(mktemp -d); \
+	printf '%s' '{"servers":[16],"workloads":["specjbb","memcached"],"configs":[{"name":"NoDG"},{"name":"MaxPerf"}],"techniques":[{"name":"baseline"},{"name":"sleep","low_power":true}],"outage_processes":[{"seed":42,"draws":8,"arrival":{"kind":"exponential","mean":"2000h"},"duration":{"kind":"weibull","mean":"30m","shape":0.8},"correlation":0.3},{"seed":7,"draws":4,"arrival":{"kind":"empirical"},"duration":{"kind":"empirical"}},{"seed":3,"draws":1,"arrival":{"kind":"fixed","mean":"5000h"},"duration":{"kind":"fixed","mean":"10m"}}]}' > $$tmp/spec.json; \
+	$(GO) run ./cmd/gridrun -spec $$tmp/spec.json -parallel 1 -shard 1 -o $$tmp/serial.ndjson && \
+	$(GO) run ./cmd/gridrun -spec $$tmp/spec.json -parallel 4 -shard 3 -o $$tmp/parallel.ndjson && \
+	cmp $$tmp/serial.ndjson $$tmp/parallel.ndjson && \
+	$(GO) run ./cmd/sweepfront -loopback 3 -shard-rows 2 -spec $$tmp/spec.json -o $$tmp/fabric.ndjson && \
+	cmp $$tmp/serial.ndjson $$tmp/fabric.ndjson && \
+	echo "process-equivalence: process-axis sweep byte-identical across widths, shards, and the 3-worker fabric" ; \
 	status=$$?; rm -rf $$tmp; exit $$status
 
 # Deterministic continuous-verification smoke (PR 8): cmd/vulture

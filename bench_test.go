@@ -22,6 +22,7 @@ import (
 	"backuppower/internal/grid"
 	"backuppower/internal/memsim"
 	"backuppower/internal/migration"
+	"backuppower/internal/outage"
 	"backuppower/internal/sweep"
 	"backuppower/internal/technique"
 	"backuppower/internal/units"
@@ -405,3 +406,35 @@ func BenchmarkBestForConfig(b *testing.B) {
 		}
 	}
 }
+
+// benchProcessEval measures EvaluateProcess at a given draw count —
+// the process-level batch fold (draw expansion + one EvaluateBatchCtx +
+// per-draw aggregation), cold scenario cache each iteration.
+func benchProcessEval(b *testing.B, draws int) {
+	b.Helper()
+	fw := core.New(16)
+	peak := fw.Env.PeakPower()
+	cfg := cost.NoDG(peak)
+	w := workload.Specjbb()
+	p := outage.Process{
+		Seed:        42,
+		Draws:       draws,
+		Arrival:     outage.Dist{Kind: outage.KindExponential, Mean: 2000 * time.Hour},
+		Duration:    outage.Dist{Kind: outage.KindWeibull, Mean: 30 * time.Minute, Shape: 0.8},
+		Correlation: 0.3,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.ResetScenarioCache()
+		pr, err := fw.EvaluateProcess(cfg, technique.Sleep{}, w, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pr.Draws != draws {
+			b.Fatalf("draws = %d", pr.Draws)
+		}
+	}
+}
+
+func BenchmarkProcessEval8Draws(b *testing.B)  { benchProcessEval(b, 8) }
+func BenchmarkProcessEval64Draws(b *testing.B) { benchProcessEval(b, 64) }

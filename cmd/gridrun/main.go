@@ -57,6 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	techniques := fs.String("techniques", "", `semicolon-separated techniques, each "name" or "name:k=v,k=v"`)
 	variants := fs.Bool("variants", false, "sweep the full Section 6 technique-variant set (Figures 6-9 axis)")
 	outages := fs.String("outages", "", `comma-separated outage durations ("30s,5m,2h")`)
+	processes := fs.String("processes", "",
+		`stochastic outage-process axis as a JSON array (evaluate only; replaces -outages), e.g. `+
+			`'[{"seed":42,"draws":16,"arrival":{"kind":"exponential","mean":"1500h"},"duration":{"kind":"empirical"}}]'`)
 	zip := fs.Bool("zip", false, "pair axes element-wise instead of crossing them")
 	maxRows := fs.Int("max-rows", 0, "tighten the compile-time row bound (0 = default)")
 	sampleEvery := fs.Int("sample-every", 0, "keep every k-th row of the expanded grid")
@@ -95,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		var err error
 		spec, err = specFromFlags(*op, *serversFlag, *workloads, *configs, *techniques,
-			*variants, *outages, *zip, *maxRows, *sampleEvery, *minOutage, *maxOutage)
+			*variants, *outages, *processes, *zip, *maxRows, *sampleEvery, *minOutage, *maxOutage)
 		if err != nil {
 			fmt.Fprintf(stderr, "gridrun: %v\n", err)
 			return 2
@@ -209,7 +212,7 @@ func readSpec(path string, spec *grid.Spec) error {
 
 // specFromFlags assembles a Spec from the axis flags.
 func specFromFlags(op, servers, workloads, configs, techniques string, variants bool,
-	outages string, zip bool, maxRows, sampleEvery int, minOutage, maxOutage string) (grid.Spec, error) {
+	outages, processes string, zip bool, maxRows, sampleEvery int, minOutage, maxOutage string) (grid.Spec, error) {
 	spec := grid.Spec{
 		Op:                op,
 		Workloads:         splitList(workloads),
@@ -217,6 +220,11 @@ func specFromFlags(op, servers, workloads, configs, techniques string, variants 
 		TechniqueVariants: variants,
 		Zip:               zip,
 		MaxRows:           maxRows,
+	}
+	if processes != "" {
+		if err := json.Unmarshal([]byte(processes), &spec.OutageProcesses); err != nil {
+			return grid.Spec{}, fmt.Errorf("-processes: %w", err)
+		}
 	}
 	for _, n := range splitList(servers) {
 		v, err := strconv.Atoi(n)
@@ -343,18 +351,35 @@ func renderTable(w io.Writer, op string, rows []grid.RowResult) error {
 	default: // evaluate
 		t.Columns = []string{"Servers", "Workload", "Config", "Technique", "Outage", "Survived", "Perf", "Downtime"}
 		for _, r := range rows {
+			outage := outageCell(r)
 			if r.Err != nil {
-				t.AddRow(r.Point.Servers, r.Point.Workload.Name, r.Point.Config.Name, techName(r), r.Point.Outage, "error: "+r.Err.Error(), "-", "-")
+				t.AddRow(r.Point.Servers, r.Point.Workload.Name, r.Point.Config.Name, techName(r), outage, "error: "+r.Err.Error(), "-", "-")
+				continue
+			}
+			if r.Process != nil {
+				// Process rows: survival rate, duration-weighted perf, and
+				// expected yearly downtime instead of the point columns.
+				t.AddRow(r.Point.Servers, r.Point.Workload.Name, r.Point.Config.Name, techName(r), outage,
+					fmt.Sprintf("%.3f", r.Process.SurvivalRate), r.Process.Perf, r.Process.ExpectedDowntime)
 				continue
 			}
 			survived := "no"
 			if r.Result.Survived {
 				survived = "yes"
 			}
-			t.AddRow(r.Point.Servers, r.Point.Workload.Name, r.Point.Config.Name, techName(r), r.Point.Outage, survived, r.Result.Perf, r.Result.Downtime)
+			t.AddRow(r.Point.Servers, r.Point.Workload.Name, r.Point.Config.Name, techName(r), outage, survived, r.Result.Perf, r.Result.Downtime)
 		}
 	}
 	return t.Render(w)
+}
+
+// outageCell renders a row's outage coordinate: the point duration, or a
+// compact spec summary for stochastic-process rows.
+func outageCell(r grid.RowResult) any {
+	if p := r.Point.Process; p != nil {
+		return fmt.Sprintf("%s/%s seed=%d draws=%d", p.Arrival.Kind, p.Duration.Kind, p.Seed, p.Draws)
+	}
+	return r.Point.Outage
 }
 
 func techName(r grid.RowResult) string {

@@ -55,6 +55,11 @@ func TestGoldenNDJSON(t *testing.T) {
 			"-techniques", "hibernate:proactive=true;baseline", "-outages", "1h"}},
 		{"best", []string{"-op", "best", "-workloads", "memcached", "-configs", "SmallPUPS,MinCost",
 			"-outages", "30m"}},
+		{"process", []string{"-workloads", "specjbb", "-configs", "NoDG",
+			"-techniques", "baseline;sleep:low_power=true",
+			"-processes", `[{"seed":42,"draws":8,"arrival":{"kind":"exponential","mean":"2000h"},` +
+				`"duration":{"kind":"weibull","mean":"30m","shape":0.8},"correlation":0.3},` +
+				`{"seed":7,"draws":4,"arrival":{"kind":"empirical"},"duration":{"kind":"empirical"}}]`}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -75,6 +80,21 @@ func TestGoldenTable(t *testing.T) {
 		t.Fatalf("exit %d: %s", code, stderr)
 	}
 	checkGolden(t, "size.table", stdout)
+}
+
+// TestGoldenProcessTable pins the -format table rendering of process
+// rows (survival/perf/expected-downtime cells plus the seed+draws
+// outage cell).
+func TestGoldenProcessTable(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-workloads", "specjbb", "-configs", "NoDG",
+		"-techniques", "baseline",
+		"-processes", `[{"seed":42,"draws":8,"arrival":{"kind":"exponential","mean":"2000h"},`+
+			`"duration":{"kind":"weibull","mean":"30m","shape":0.8},"correlation":0.3}]`,
+		"-format", "table")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	checkGolden(t, "process.table", stdout)
 }
 
 // TestDeterministicAcrossWidthAndShard: the CLI's own half of the

@@ -418,7 +418,14 @@ func (c *checker) checkReadYourWrites(ctx context.Context, storeExpected bool, r
 // on, string values Go-quoted.
 func resultsQuery(row grid.RowDTO) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "op=%q && servers=%d && workload=%q && outage=%s", row.Op, row.Servers, row.Workload, row.Outage)
+	fmt.Fprintf(&sb, "op=%q && servers=%d && workload=%q", row.Op, row.Servers, row.Workload)
+	if row.Process != nil {
+		// Process rows carry no outage coordinate; the seed + draws pair
+		// (with the shared coordinates) pins the row instead.
+		fmt.Fprintf(&sb, " && seed=%d && draws=%d", row.Process.Seed, row.Process.Draws)
+	} else {
+		fmt.Fprintf(&sb, " && outage=%s", row.Outage)
+	}
 	if row.Config != "" {
 		fmt.Fprintf(&sb, " && config=%q", row.Config)
 	}
@@ -502,6 +509,11 @@ func checkInvariants(plan *grid.Plan, rows []grid.RowDTO) error {
 				return fmt.Errorf("row %d: perf %v outside [0, 1]", i, p)
 			}
 		}
+		if row.ProcessResult != nil {
+			if err := checkProcessRow(i, row.ProcessResult); err != nil {
+				return err
+			}
+		}
 	}
 
 	// Group consecutive rows that differ only in their outage — the same
@@ -580,10 +592,46 @@ func checkGroup(op string, pts []grid.Point, rows []grid.RowDTO) error {
 	return nil
 }
 
+// checkProcessRow applies the process-row invariants: every rate is a
+// fraction, and the per-draw downtime percentiles are ordered
+// p50 <= p95 <= p99 <= max. The durations arrive as canonical Go
+// strings, which always parse back.
+func checkProcessRow(i int, pr *grid.ProcessResultDTO) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"availability", pr.Availability},
+		{"survival_rate", pr.SurvivalRate},
+		{"perf", pr.Perf},
+	} {
+		if f.v < -perfTol || f.v > 1+perfTol {
+			return fmt.Errorf("row %d: %s %v outside [0, 1]", i, f.name, f.v)
+		}
+	}
+	names := []string{"downtime_p50", "downtime_p95", "downtime_p99", "downtime_max"}
+	raw := []string{pr.DowntimeP50, pr.DowntimeP95, pr.DowntimeP99, pr.DowntimeMax}
+	last := time.Duration(-1)
+	for j, s := range raw {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("row %d: %s %q does not parse: %v", i, names[j], s, err)
+		}
+		if d < last {
+			return fmt.Errorf("row %d: %s %v below %s %v (percentiles unordered)",
+				i, names[j], d, names[j-1], last)
+		}
+		last = d
+	}
+	return nil
+}
+
 // sameGroup mirrors the batch kernel's adjacency: two points that differ
-// only in their outage.
+// only in their outage. Process rows never group — each process is its
+// own unit, exactly as in the runner.
 func sameGroup(a, b *grid.Point) bool {
-	return a.Servers == b.Servers &&
+	return a.Process == nil && b.Process == nil &&
+		a.Servers == b.Servers &&
 		a.Workload == b.Workload &&
 		a.HasConfig == b.HasConfig &&
 		a.Config == b.Config &&

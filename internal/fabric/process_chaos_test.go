@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"backuppower/internal/grid"
+)
+
+// processSpec is the process-axis probe grid: 2 workloads × 2 configs ×
+// 2 techniques × 3 seeded outage processes = 24 rows. Every row carries a
+// whole process — all of its draws — so no shard geometry can split one
+// process's draws across workers.
+func processSpec() grid.Spec {
+	return grid.Spec{
+		Servers:   []int{8},
+		Workloads: []string{"specjbb", "memcached"},
+		Configs:   []grid.ConfigDTO{{Name: "MaxPerf"}, {Name: "NoDG"}},
+		Techniques: []grid.TechniqueDTO{
+			{Name: "baseline"}, {Name: "throttling", PState: intp(3)},
+		},
+		OutageProcesses: []grid.ProcessDTO{
+			{Seed: 7, Draws: 4,
+				Arrival:     grid.DistDTO{Kind: "exponential", Mean: "2000h"},
+				Duration:    grid.DistDTO{Kind: "weibull", Mean: "20m", Shape: 0.8},
+				Correlation: 0.3},
+			{Seed: 11, Draws: 2,
+				Arrival:  grid.DistDTO{Kind: "empirical"},
+				Duration: grid.DistDTO{Kind: "empirical"}},
+			{Seed: 3, Draws: 1,
+				Arrival:  grid.DistDTO{Kind: "fixed", Mean: "5000h"},
+				Duration: grid.DistDTO{Kind: "fixed", Mean: "10m"}},
+		},
+	}
+}
+
+// TestFabricProcessAxisChaos kills a worker mid-stream while it is
+// serving process-axis shards and pins the merged bytes to the
+// single-node run: a re-dispatched process row must replay its full draw
+// sequence from the seed and land byte-identically, at every worker
+// count and shard geometry.
+func TestFabricProcessAxisChaos(t *testing.T) {
+	spec := processSpec()
+	want := singleNodeNDJSON(t, spec)
+	for _, workers := range []int{1, 2, 3} {
+		for seed := 0; seed < 3; seed++ {
+			t.Run(fmt.Sprintf("workers=%d/seed=%d", workers, seed), func(t *testing.T) {
+				var kills atomic.Int32
+				kills.Store(int32(1 + seed))
+				urls := newWorkers(t, workers, chaosMid(&kills))
+				f, err := New(Options{
+					Workers:    urls,
+					ShardRows:  1 + seed,
+					HedgeAfter: -1,
+					MaxRetries: 8,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.opt.sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+				var got bytes.Buffer
+				if err := f.Run(t.Context(), spec, &got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want) {
+					t.Fatalf("process-axis merged stream diverged from single node after %d mid-shard deaths", 1+seed)
+				}
+			})
+		}
+	}
+}
+
+// TestFabricProcessAxisMatchesSingleNode is the clean-path cousin: no
+// chaos, every worker count × shard size must reproduce the single-node
+// bytes for a process-axis sweep.
+func TestFabricProcessAxisMatchesSingleNode(t *testing.T) {
+	spec := processSpec()
+	want := singleNodeNDJSON(t, spec)
+	for _, workers := range []int{1, 2, 3} {
+		urls := newWorkers(t, workers, nil)
+		for _, shardRows := range []int{0, 1, 3, 7} {
+			f, err := New(Options{
+				Workers:    urls,
+				ShardRows:  shardRows,
+				HedgeAfter: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := f.Run(t.Context(), spec, &got); err != nil {
+				t.Fatalf("workers=%d shard=%d: %v", workers, shardRows, err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("workers=%d shard=%d: process-axis stream diverged from single node", workers, shardRows)
+			}
+		}
+	}
+}

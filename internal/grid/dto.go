@@ -89,13 +89,19 @@ type RowDTO struct {
 	Config    string     `json:"config,omitempty"`
 	Family    string     `json:"family,omitempty"`
 	Technique string     `json:"technique,omitempty"`
-	Outage    string     `json:"outage"`
-	Feasible  *bool      `json:"feasible,omitempty"`
-	NormCost  float64    `json:"norm_cost,omitempty"`
-	Backup    *BackupDTO `json:"backup,omitempty"`
-	Best      string     `json:"best,omitempty"`
-	Result    *ResultDTO `json:"result,omitempty"`
-	Error     string     `json:"error,omitempty"`
+
+	// Outage is the point-outage coordinate; process rows omit it and
+	// carry their resolved process spec in Process instead.
+	Outage  string      `json:"outage,omitempty"`
+	Process *ProcessDTO `json:"process,omitempty"`
+
+	Feasible      *bool             `json:"feasible,omitempty"`
+	NormCost      float64           `json:"norm_cost,omitempty"`
+	Backup        *BackupDTO        `json:"backup,omitempty"`
+	Best          string            `json:"best,omitempty"`
+	Result        *ResultDTO        `json:"result,omitempty"`
+	ProcessResult *ProcessResultDTO `json:"process_result,omitempty"`
+	Error         string            `json:"error,omitempty"`
 }
 
 // NewRowDTO converts one runner row to its wire shape.
@@ -107,7 +113,12 @@ func NewRowDTO(op string, row RowResult) RowDTO {
 		Servers:  p.Servers,
 		Workload: p.Workload.Name,
 		Family:   p.Family,
-		Outage:   p.Outage.String(),
+	}
+	if p.Process != nil {
+		pd := ProcessDTOFromProcess(p.Process)
+		d.Process = &pd
+	} else {
+		d.Outage = p.Outage.String()
 	}
 	if p.HasConfig {
 		d.Config = p.Config.Name
@@ -136,8 +147,13 @@ func NewRowDTO(op string, row RowResult) RowDTO {
 		r := NewResultDTO(row.Result)
 		d.Result = &r
 	default: // OpEvaluate
-		r := NewResultDTO(row.Result)
-		d.Result = &r
+		if row.Process != nil {
+			r := NewProcessResultDTO(*row.Process)
+			d.ProcessResult = &r
+		} else {
+			r := NewResultDTO(row.Result)
+			d.Result = &r
+		}
 	}
 	return d
 }

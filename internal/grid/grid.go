@@ -22,6 +22,7 @@ import (
 
 	"backuppower/internal/core"
 	"backuppower/internal/cost"
+	"backuppower/internal/outage"
 	"backuppower/internal/technique"
 	"backuppower/internal/workload"
 )
@@ -78,8 +79,16 @@ type Spec struct {
 	// row labeled with its family — the axis behind Figures 6-9.
 	TechniqueVariants bool `json:"technique_variants,omitempty"`
 
-	// Outages is the outage-duration axis ("30s", "5m", "2h"). Required.
+	// Outages is the outage-duration axis ("30s", "5m", "2h"). Either it
+	// or OutageProcesses is required; never both.
 	Outages []string `json:"outages,omitempty"`
+
+	// OutageProcesses is the stochastic outage-process axis (ROADMAP
+	// 4(a)): each entry is a seeded Monte-Carlo process whose drawn
+	// yearly traces evaluate through core.EvaluateProcess instead of a
+	// single point duration. Evaluate-only; mutually exclusive with
+	// Outages.
+	OutageProcesses []ProcessDTO `json:"outage_processes,omitempty"`
 
 	// Zip pairs the axes element-wise instead of crossing them: every
 	// present axis must have the same length L, and row i takes element
@@ -129,7 +138,10 @@ type Point struct {
 	Technique technique.Technique
 	Family    string
 
-	Outage time.Duration
+	// Outage is the point outage duration; zero for process rows, where
+	// Process carries the resolved stochastic outage process instead.
+	Outage  time.Duration
+	Process *outage.Process
 }
 
 // Plan is a compiled spec: the ordered rows plus the op they run.
@@ -184,6 +196,20 @@ func Compile(spec Spec, opt CompileOptions) (*Plan, error) {
 		return nil, fieldErrf("invalid_field", "technique_variants",
 			"technique_variants cannot be zipped; use a cross-product spec")
 	}
+	if len(spec.OutageProcesses) > 0 {
+		if len(spec.Outages) > 0 {
+			return nil, fieldErrf("invalid_field", "outage_processes",
+				"give either an outages axis or an outage_processes axis, not both")
+		}
+		if op != OpEvaluate {
+			return nil, fieldErrf("invalid_field", "outage_processes",
+				"outage processes do not apply to op %q — only %q evaluates a stochastic process", op, OpEvaluate)
+		}
+		if spec.Filter != nil && (spec.Filter.MinOutage != "" || spec.Filter.MaxOutage != "") {
+			return nil, fieldErrf("invalid_field", "filter.min_outage",
+				"outage-band filters do not apply to an outage_processes axis")
+		}
+	}
 
 	// Servers axis (defaulted) and per-count environments.
 	servers := spec.Servers
@@ -216,17 +242,30 @@ func Compile(spec Spec, opt CompileOptions) (*Plan, error) {
 		workloads[i] = w
 	}
 
-	// Outages axis.
-	if len(spec.Outages) == 0 {
-		return nil, fieldErrf("missing_field", "outages", "at least one outage duration is required")
+	// Outage axis: point durations or stochastic processes, never both
+	// (checked above).
+	if len(spec.Outages) == 0 && len(spec.OutageProcesses) == 0 {
+		return nil, fieldErrf("missing_field", "outages",
+			"at least one outage duration (outages) or stochastic process (outage_processes) is required")
 	}
-	outages := make([]time.Duration, len(spec.Outages))
+	type outPoint struct {
+		dur  time.Duration
+		proc *outage.Process
+	}
+	outAxis := make([]outPoint, 0, len(spec.Outages)+len(spec.OutageProcesses))
 	for i, s := range spec.Outages {
 		d, err := ParseOutage(s)
 		if err != nil {
 			return nil, refield(err, axisField("outages", i))
 		}
-		outages[i] = d
+		outAxis = append(outAxis, outPoint{dur: d})
+	}
+	for i, d := range spec.OutageProcesses {
+		p, err := ResolveProcess(d)
+		if err != nil {
+			return nil, refield(err, axisField("outage_processes", i))
+		}
+		outAxis = append(outAxis, outPoint{proc: p})
 	}
 
 	// Techniques axis (explicit instances or the figures' variant set).
@@ -294,7 +333,7 @@ func Compile(spec Spec, opt CompileOptions) (*Plan, error) {
 	if spec.MaxRows > 0 && spec.MaxRows < maxRows {
 		maxRows = spec.MaxRows
 	}
-	lens := []int{len(servers), len(workloads), nconfigs, len(techs), len(outages)}
+	lens := []int{len(servers), len(workloads), nconfigs, len(techs), len(outAxis)}
 	var total int
 	if spec.Zip {
 		var err error
@@ -330,7 +369,8 @@ func Compile(spec Spec, opt CompileOptions) (*Plan, error) {
 		p := Point{
 			Servers:  servers[si],
 			Workload: workloads[wi],
-			Outage:   outages[oi],
+			Outage:   outAxis[oi].dur,
+			Process:  outAxis[oi].proc,
 		}
 		if op != OpSize {
 			p.Config, p.HasConfig = configs[si][ci], true
@@ -359,7 +399,7 @@ func Compile(spec Spec, opt CompileOptions) (*Plan, error) {
 			for wi := range workloads {
 				for ci := 0; ci < nconfigs; ci++ {
 					for ti := range techs {
-						for oi := range outages {
+						for oi := range outAxis {
 							add(si, wi, ci, ti, oi)
 						}
 					}
@@ -374,6 +414,9 @@ func Compile(spec Spec, opt CompileOptions) (*Plan, error) {
 // must agree on one length L (length-1 axes and defaults broadcast).
 func zipLength(spec Spec, lens []int) (int, error) {
 	names := []string{"servers", "workloads", "configs", "techniques", "outages"}
+	if len(spec.OutageProcesses) > 0 {
+		names[4] = "outage_processes"
+	}
 	L := 1
 	for i, n := range lens {
 		if n <= 1 {

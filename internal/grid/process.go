@@ -1,0 +1,195 @@
+package grid
+
+import (
+	"time"
+
+	"backuppower/internal/core"
+	"backuppower/internal/outage"
+	"backuppower/internal/units"
+)
+
+// The outage_process axis wire types and their resolver. Like the other
+// DTOs in this package, these are the single source of truth for the
+// HTTP layer and cmd/gridrun: field names, validation rules, and error
+// codes cannot drift between surfaces.
+
+// DistDTO selects one sampling distribution for a process axis element:
+// a kind ("fixed", "exponential", "weibull", "empirical") plus its
+// parameters. Mean is a duration string; shape applies to weibull only;
+// empirical takes no parameters (the paper's Figure 1 data fixes them).
+type DistDTO struct {
+	Kind  string  `json:"kind"`
+	Mean  string  `json:"mean,omitempty"`
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// ProcessDTO selects a stochastic outage process: the splitmix64 seed,
+// the Monte-Carlo draw count, the inter-arrival and duration
+// distributions, and the correlated multi-failure coefficient.
+type ProcessDTO struct {
+	Seed        int64   `json:"seed"`
+	Draws       int     `json:"draws"`
+	Arrival     DistDTO `json:"arrival"`
+	Duration    DistDTO `json:"duration"`
+	Correlation float64 `json:"correlation,omitempty"`
+}
+
+// ResolveProcess validates a process axis element and resolves it to the
+// model type. Every rejection is a typed *FieldError rooted at
+// "process.<field>" (refield re-roots it at the axis position).
+func ResolveProcess(d ProcessDTO) (*outage.Process, error) {
+	if d.Draws == 0 {
+		return nil, fieldErrf("missing_field", "process.draws",
+			"draws is required (1..%d Monte-Carlo yearly traces)", outage.MaxDraws)
+	}
+	if d.Draws < 1 || d.Draws > outage.MaxDraws {
+		return nil, fieldErrf("out_of_range", "process.draws",
+			"draws %d out of [1, %d]", d.Draws, outage.MaxDraws)
+	}
+	if !(d.Correlation >= 0 && d.Correlation <= outage.MaxCorrelation) { // NaN fails
+		return nil, fieldErrf("out_of_range", "process.correlation",
+			"correlation %v out of [0, %v]", d.Correlation, outage.MaxCorrelation)
+	}
+	arrival, err := resolveDist(d.Arrival, "process.arrival", true)
+	if err != nil {
+		return nil, err
+	}
+	duration, err := resolveDist(d.Duration, "process.duration", false)
+	if err != nil {
+		return nil, err
+	}
+	p := &outage.Process{
+		Seed:        d.Seed,
+		Draws:       d.Draws,
+		Arrival:     arrival,
+		Duration:    duration,
+		Correlation: d.Correlation,
+	}
+	// Belt and suspenders: the model's own validation must agree, so a
+	// bound added there can never slip past the wire layer unchecked.
+	if err := p.Validate(); err != nil {
+		return nil, fieldErrf("invalid_field", "process", "%v", err)
+	}
+	return p, nil
+}
+
+// resolveDist validates one distribution selector. The arrival and
+// duration roles carry different mean bounds (mirroring outage.Dist).
+func resolveDist(d DistDTO, field string, arrival bool) (outage.Dist, error) {
+	var out outage.Dist
+	switch d.Kind {
+	case "":
+		return out, fieldErrf("missing_field", field+".kind",
+			"distribution kind is required (%s, %s, %s, %s)",
+			outage.KindFixed, outage.KindExponential, outage.KindWeibull, outage.KindEmpirical)
+	case outage.KindEmpirical:
+		if d.Mean != "" {
+			return out, fieldErrf("invalid_field", field+".mean",
+				"mean does not apply to the %s distribution (Figure 1 fixes it)", d.Kind)
+		}
+		if d.Shape != 0 {
+			return out, fieldErrf("invalid_field", field+".shape",
+				"shape does not apply to the %s distribution", d.Kind)
+		}
+		return outage.Dist{Kind: d.Kind}, nil
+	case outage.KindWeibull:
+		if d.Shape == 0 {
+			return out, fieldErrf("missing_field", field+".shape",
+				"the %s distribution needs a shape in [%v, %v]", d.Kind, outage.MinShape, outage.MaxShape)
+		}
+		if !(d.Shape >= outage.MinShape && d.Shape <= outage.MaxShape) { // NaN fails
+			return out, fieldErrf("out_of_range", field+".shape",
+				"shape %v out of [%v, %v]", d.Shape, outage.MinShape, outage.MaxShape)
+		}
+	case outage.KindFixed, outage.KindExponential:
+		if d.Shape != 0 {
+			return out, fieldErrf("invalid_field", field+".shape",
+				"shape does not apply to the %s distribution", d.Kind)
+		}
+	default:
+		return out, fieldErrf("invalid_field", field+".kind",
+			"unknown distribution kind %q (known: %s, %s, %s, %s)",
+			d.Kind, outage.KindFixed, outage.KindExponential, outage.KindWeibull, outage.KindEmpirical)
+	}
+	if d.Mean == "" {
+		return out, fieldErrf("missing_field", field+".mean",
+			"the %s distribution needs a mean duration", d.Kind)
+	}
+	mean, err := units.ParseDuration(d.Mean)
+	if err != nil {
+		return out, fieldErrf("invalid_duration", field+".mean", "%v", err)
+	}
+	lo, hi := outage.MinEventDuration, time.Duration(outage.MaxEventDuration)
+	if arrival {
+		lo, hi = outage.MinArrivalMean, outage.MaxArrivalMean
+	}
+	if mean < lo || mean > hi {
+		return out, fieldErrf("out_of_range", field+".mean",
+			"mean %v out of [%v, %v]", mean, lo, hi)
+	}
+	return outage.Dist{Kind: d.Kind, Mean: mean, Shape: d.Shape}, nil
+}
+
+// ProcessDTOFromProcess is the canonical wire echo of a resolved
+// process: durations render in Go's canonical syntax, so the same
+// process always serializes to the same bytes whatever spelling the
+// request used.
+func ProcessDTOFromProcess(p *outage.Process) ProcessDTO {
+	return ProcessDTO{
+		Seed:        p.Seed,
+		Draws:       p.Draws,
+		Arrival:     distDTO(p.Arrival),
+		Duration:    distDTO(p.Duration),
+		Correlation: p.Correlation,
+	}
+}
+
+func distDTO(d outage.Dist) DistDTO {
+	dto := DistDTO{Kind: d.Kind, Shape: d.Shape}
+	if d.Mean != 0 {
+		dto.Mean = d.Mean.String()
+	}
+	return dto
+}
+
+// ProcessResultDTO mirrors core.ProcessResult on the wire: the
+// process-level payload of an evaluate row with an outage_processes
+// axis. Durations render in Go's canonical syntax, like ResultDTO.
+type ProcessResultDTO struct {
+	Technique         string  `json:"technique"`
+	Config            string  `json:"config"`
+	Workload          string  `json:"workload"`
+	Draws             int     `json:"draws"`
+	Events            int     `json:"events"`
+	Availability      float64 `json:"availability"`
+	ExpectedDowntime  string  `json:"expected_downtime"`
+	DowntimeP50       string  `json:"downtime_p50"`
+	DowntimeP95       string  `json:"downtime_p95"`
+	DowntimeP99       string  `json:"downtime_p99"`
+	DowntimeMax       string  `json:"downtime_max"`
+	SurvivalRate      float64 `json:"survival_rate"`
+	Perf              float64 `json:"perf"`
+	EnergyShortfallWh float64 `json:"energy_shortfall_wh"`
+	NormCost          float64 `json:"norm_cost"`
+}
+
+// NewProcessResultDTO converts a process evaluation to its wire shape.
+func NewProcessResultDTO(r core.ProcessResult) ProcessResultDTO {
+	return ProcessResultDTO{
+		Technique:         r.Technique,
+		Config:            r.Config,
+		Workload:          r.Workload,
+		Draws:             r.Draws,
+		Events:            r.Events,
+		Availability:      r.Availability,
+		ExpectedDowntime:  r.ExpectedDowntime.String(),
+		DowntimeP50:       r.DowntimeP50.String(),
+		DowntimeP95:       r.DowntimeP95.String(),
+		DowntimeP99:       r.DowntimeP99.String(),
+		DowntimeMax:       r.DowntimeMax.String(),
+		SurvivalRate:      r.SurvivalRate,
+		Perf:              r.Perf,
+		EnergyShortfallWh: float64(r.EnergyShortfallWh),
+		NormCost:          r.Cost,
+	}
+}

@@ -1,0 +1,65 @@
+package grid
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeProcessSpec is the wire-layer contract for the
+// outage_processes axis: arbitrary JSON either fails to unmarshal, or
+// resolves/rejects through ResolveProcess with a typed *FieldError —
+// zero/negative/NaN rates, inverted bounds, and junk kinds included.
+// Nothing panics, and whatever resolves also compiles as a spec axis
+// and round-trips through the canonical DTO echo.
+func FuzzDecodeProcessSpec(f *testing.F) {
+	f.Add(`{"seed":42,"draws":8,"arrival":{"kind":"exponential","mean":"2000h"},"duration":{"kind":"weibull","mean":"30m","shape":0.8},"correlation":0.3}`)
+	f.Add(`{"seed":1,"draws":1,"arrival":{"kind":"fixed","mean":"5000h"},"duration":{"kind":"fixed","mean":"10m"}}`)
+	f.Add(`{"seed":-7,"draws":4,"arrival":{"kind":"empirical"},"duration":{"kind":"empirical"}}`)
+	f.Add(`{"draws":0}`)
+	f.Add(`{"seed":0,"draws":-3,"arrival":{"kind":"exponential","mean":"-5h"},"duration":{"kind":"weibull","mean":"0s","shape":-1}}`)
+	f.Add(`{"seed":0,"draws":2000,"arrival":{"kind":"bogus","mean":"1h"},"duration":{"kind":"fixed","mean":"800h"},"correlation":1.5}`)
+	f.Add(`{"seed":9,"draws":2,"arrival":{"kind":"fixed","mean":"not a duration"},"duration":{"kind":"empirical","shape":3}}`)
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		var dto ProcessDTO
+		dec := json.NewDecoder(strings.NewReader(raw))
+		if err := dec.Decode(&dto); err != nil {
+			return // not process JSON at all
+		}
+		p, err := ResolveProcess(dto)
+		if err != nil {
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("ResolveProcess error is not a *FieldError: %T %v\ninput: %s", err, err, raw)
+			}
+			if fe.Code == "" || fe.Field == "" {
+				t.Fatalf("FieldError missing code/field: %+v\ninput: %s", fe, raw)
+			}
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("resolved process fails model validation: %v\ninput: %s", err, raw)
+		}
+		// The canonical echo must resolve back to the identical process.
+		echo := ProcessDTOFromProcess(p)
+		p2, err := ResolveProcess(echo)
+		if err != nil {
+			t.Fatalf("canonical echo does not resolve: %v\necho: %+v", err, echo)
+		}
+		if *p2 != *p {
+			t.Fatalf("echo round-trip drifted:\n got %+v\nwant %+v", *p2, *p)
+		}
+		// And the resolved process must be usable as a spec axis.
+		spec := Spec{
+			Workloads:       []string{"specjbb"},
+			Configs:         []ConfigDTO{{Name: "MaxPerf"}},
+			Techniques:      []TechniqueDTO{{Name: "baseline"}},
+			OutageProcesses: []ProcessDTO{dto},
+		}
+		if _, err := Compile(spec, CompileOptions{DefaultServers: 8}); err != nil {
+			t.Fatalf("valid process rejected by Compile: %v\ninput: %s", err, raw)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"backuppower/internal/core"
+	"backuppower/internal/resultstore"
+)
+
+// processStorePlan compiles a small process-axis evaluate plan for the
+// store tests.
+func processStorePlan(t *testing.T) *Plan {
+	t.Helper()
+	spec := processSweepSpec(4)
+	spec.Workloads = []string{"specjbb", "memcached"}
+	spec.Configs = []ConfigDTO{{Name: "NoDG"}, {Name: "MaxPerf"}}
+	return compileOK(t, spec)
+}
+
+// TestProcessRowsWarmRerunServedFromStore extends the persistent-store
+// acceptance to the process axis: a warm rerun of a process-axis sweep
+// recomputes nothing and reproduces the cold bytes at any width/shard.
+func TestProcessRowsWarmRerunServedFromStore(t *testing.T) {
+	plan := processStorePlan(t)
+	disk, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetRowStore(disk)
+	defer func() {
+		SetRowStore(nil)
+		disk.Close()
+	}()
+
+	cold := storeRunNDJSON(t, plan, 0, RunOptions{})
+	st := disk.Stats()
+	if int(st.RecomputesRows) != len(plan.Points) || int(st.Puts) != len(plan.Points) {
+		t.Fatalf("cold run stats: %+v for %d points", st, len(plan.Points))
+	}
+
+	for _, cfg := range []struct {
+		width int
+		opts  RunOptions
+	}{
+		{0, RunOptions{}},
+		{4, RunOptions{ShardSize: 1}},
+		{2, RunOptions{ShardSize: 3}},
+	} {
+		before := disk.Stats()
+		warm := storeRunNDJSON(t, plan, cfg.width, cfg.opts)
+		if !bytes.Equal(warm, cold) {
+			t.Fatalf("width %d opts %+v: warm process rerun bytes diverged", cfg.width, cfg.opts)
+		}
+		after := disk.Stats()
+		if d := after.RecomputesRows - before.RecomputesRows; d != 0 {
+			t.Fatalf("width %d opts %+v: warm rerun recomputed %d process rows", cfg.width, cfg.opts, d)
+		}
+		if d := after.HitsRows - before.HitsRows; int(d) != len(plan.Points) {
+			t.Fatalf("width %d opts %+v: warm rerun hit %d of %d rows", cfg.width, cfg.opts, d, len(plan.Points))
+		}
+	}
+}
+
+// TestProcessRowKeyNamespace: process rows key under the 'P' namespace,
+// and two processes differing only in seed get distinct keys under the
+// same invariant digest — the seed is the stamp, exactly as the outage
+// is for point rows.
+func TestProcessRowKeyNamespace(t *testing.T) {
+	plan := processStorePlan(t)
+	p := &plan.Points[0]
+	if p.Process == nil {
+		t.Fatal("expected a process point")
+	}
+	key := rowKey(plan.Op, p)
+	if key[0] != resultstore.NSProcessRow {
+		t.Fatalf("process row key namespace %q, want %q", key[0], resultstore.NSProcessRow)
+	}
+
+	q := *p
+	proc := *p.Process
+	proc.Seed++
+	q.Process = &proc
+	if rowKey(plan.Op, &q) == key {
+		t.Fatal("seed change did not change the row key")
+	}
+
+	r := *p
+	r.Process = nil
+	r.Outage = 0
+	if k := rowKey(plan.Op, &r); k[0] == resultstore.NSProcessRow {
+		t.Fatal("point row landed in the process namespace")
+	}
+}
+
+// TestProcessStoredRowCrossCheck: a stored process payload whose process
+// spec disagrees with the requesting point is rejected (alias guard),
+// and a payload shape mismatch (process point, point payload) degrades
+// to recompute rather than serving the wrong row.
+func TestProcessStoredRowCrossCheck(t *testing.T) {
+	plan := processStorePlan(t)
+	rows, err := runPlain(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	sr, ok := storedFromRow(plan.Op, &row)
+	if !ok {
+		t.Fatal("storedFromRow refused a clean process row")
+	}
+	if sr.Process == nil {
+		t.Fatal("stored process row lost its process payload")
+	}
+
+	// Round trip: same point gets the identical payload back.
+	back, ok := rowFromStored(plan.Op, row.Point, &sr)
+	if !ok {
+		t.Fatal("stored row did not round-trip")
+	}
+	if back.Process == nil || *back.Process != *row.Process {
+		t.Fatalf("process payload drifted: %+v vs %+v", back.Process, row.Process)
+	}
+
+	// A different seed must fail the cross-check.
+	other := row.Point
+	proc := *other.Process
+	proc.Seed++
+	other.Process = &proc
+	if _, ok := rowFromStored(plan.Op, other, &sr); ok {
+		t.Fatal("stored row served a point with a different process seed")
+	}
+
+	// A process point must refuse a duration-row payload.
+	pointRow := sr
+	pointRow.Process = nil
+	if _, ok := rowFromStored(plan.Op, row.Point, &pointRow); ok {
+		t.Fatal("process point accepted a payload without a process")
+	}
+}
+
+// runPlain evaluates a plan store-less and returns the rows.
+func runPlain(plan *Plan) ([]RowResult, error) {
+	return NewRunner(core.New(8)).Run(context.Background(), plan, RunOptions{})
+}

@@ -1,0 +1,142 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"backuppower/internal/core"
+	"backuppower/internal/sweep"
+)
+
+// processSweepSpec builds a spec whose outage axis is n seeded random
+// processes — the metamorphic byte-identity population (one spec row per
+// case, so 250 cases ride one sweep).
+func processSweepSpec(n int) Spec {
+	kinds := []string{"fixed", "exponential", "weibull", "empirical"}
+	procs := make([]ProcessDTO, n)
+	for i := range procs {
+		rng := rand.New(rand.NewSource(int64(i)))
+		d := ProcessDTO{
+			Seed:        rng.Int63(),
+			Draws:       1 + rng.Intn(6),
+			Correlation: []float64{0, 0, 0.25, 0.5}[rng.Intn(4)],
+		}
+		mk := func(arrival bool) DistDTO {
+			dd := DistDTO{Kind: kinds[rng.Intn(len(kinds))]}
+			if dd.Kind == "empirical" {
+				return dd
+			}
+			if dd.Kind == "weibull" {
+				dd.Shape = []float64{0.5, 0.8, 1.5, 2, 3}[rng.Intn(5)]
+			}
+			if arrival {
+				dd.Mean = (time.Duration(300+rng.Intn(5701)) * time.Hour).String()
+			} else {
+				dd.Mean = (time.Duration(1+rng.Intn(480)) * time.Minute).String()
+			}
+			return dd
+		}
+		d.Arrival, d.Duration = mk(true), mk(false)
+		procs[i] = d
+	}
+	return Spec{
+		Servers:         []int{8},
+		Workloads:       []string{"specjbb"},
+		Configs:         []ConfigDTO{{Name: "NoDG"}},
+		Techniques:      []TechniqueDTO{{Name: "baseline"}},
+		OutageProcesses: procs,
+	}
+}
+
+func processSweepNDJSON(t *testing.T, spec Spec, width, shardSize int) []byte {
+	t.Helper()
+	plan, err := Compile(spec, CompileOptions{DefaultServers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sweep.WithWidth(context.Background(), width)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	err = NewRunner(core.New(8)).RunStream(ctx, plan, RunOptions{ShardSize: shardSize},
+		func(row RowResult) error { return enc.Encode(NewRowDTO(plan.Op, row)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestProcessSweepByteIdentity is the same-seed determinism property:
+// a 250-row process-axis sweep must produce byte-identical NDJSON at
+// every pool width × shard size (run under -race by `make race`).
+func TestProcessSweepByteIdentity(t *testing.T) {
+	spec := processSweepSpec(250)
+	want := processSweepNDJSON(t, spec, 1, 1)
+	if len(bytes.TrimSpace(want)) == 0 {
+		t.Fatal("baseline sweep emitted nothing")
+	}
+	for _, width := range []int{2, 8} {
+		for _, shard := range []int{1, 7, 64} {
+			t.Run(fmt.Sprintf("width=%d/shard=%d", width, shard), func(t *testing.T) {
+				if got := processSweepNDJSON(t, spec, width, shard); !bytes.Equal(got, want) {
+					t.Fatalf("width %d shard %d diverged from width 1 shard 1", width, shard)
+				}
+			})
+		}
+	}
+}
+
+// TestProcessSweepWirePayload: every process row carries the process
+// echo + process_result payload and no scalar outage/result; the axes
+// are mutually exclusive, so mixing them is a typed compile error.
+func TestProcessSweepWirePayload(t *testing.T) {
+	spec := processSweepSpec(3)
+	plan, err := Compile(spec, CompileOptions{DefaultServers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := NewRunner(core.New(8)).Run(context.Background(), plan, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		if row.Err != nil {
+			t.Fatalf("row %d: %v", i, row.Err)
+		}
+		dto := NewRowDTO(plan.Op, row)
+		if dto.ProcessResult == nil || dto.Result != nil || dto.Process == nil || dto.Outage != "" {
+			t.Fatalf("row %d: process point wire payload wrong: %+v", i, dto)
+		}
+	}
+
+	mixed := processSweepSpec(2)
+	mixed.Outages = []string{"30s"}
+	if _, err := Compile(mixed, CompileOptions{DefaultServers: 8}); err == nil {
+		t.Fatal("mixed outages + outage_processes axes compiled; they are mutually exclusive")
+	}
+}
+
+// TestProcessRowsNeverBatch pins the shard-safety invariant at its
+// root: no batch unit may contain a process point, so a shard cut can
+// never split one process's draws.
+func TestProcessRowsNeverBatch(t *testing.T) {
+	spec := processSweepSpec(4)
+	spec.Configs = []ConfigDTO{{Name: "NoDG"}, {Name: "MaxPerf"}}
+	plan, err := Compile(spec, CompileOptions{DefaultServers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Points) != 8 {
+		t.Fatalf("want 8 rows, got %d", len(plan.Points))
+	}
+	for i := 1; i < len(plan.Points); i++ {
+		a, b := &plan.Points[i-1], &plan.Points[i]
+		if batchable(a, b) {
+			t.Fatalf("points %d,%d: a process row joined a batch unit", i-1, i)
+		}
+	}
+}

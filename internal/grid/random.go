@@ -40,6 +40,11 @@ type Bounds struct {
 	// Variants permits technique_variants specs (the full Section 6
 	// variant set) for non-zip evaluate and size ops.
 	Variants bool
+
+	// Processes permits outage_processes specs (the stochastic outage
+	// axis) for evaluate ops: sampled processes stay in a tame envelope
+	// (few draws, quiet arrival rates) so any spec still evaluates fast.
+	Processes bool
 }
 
 // DefaultBounds is the envelope the vulture and the fuzz target use: all
@@ -55,6 +60,7 @@ func DefaultBounds() Bounds {
 		MinOutage:        30 * time.Second,
 		MaxOutage:        4 * time.Hour,
 		Variants:         true,
+		Processes:        true,
 	}
 }
 
@@ -140,10 +146,20 @@ func RandomSpec(rng *rand.Rand, b Bounds) Spec {
 		spec.Workloads = append(spec.Workloads, b.Workloads[rng.Intn(len(b.Workloads))])
 	}
 
-	outages := make([]time.Duration, length(b.MaxOutageAxisLen))
-	for i := range outages {
-		outages[i] = randomOutage(rng, b)
-		spec.Outages = append(spec.Outages, outages[i].String())
+	// The outage axis: point durations, or (for evaluate ops, when the
+	// bounds allow) a stochastic process axis instead.
+	procAxis := b.Processes && spec.Op == OpEvaluate && rng.Intn(6) == 0
+	var outages []time.Duration
+	if procAxis {
+		for i, n := 0, length(b.MaxOutageAxisLen); i < n; i++ {
+			spec.OutageProcesses = append(spec.OutageProcesses, randomProcess(rng))
+		}
+	} else {
+		outages = make([]time.Duration, length(b.MaxOutageAxisLen))
+		for i := range outages {
+			outages[i] = randomOutage(rng, b)
+			spec.Outages = append(spec.Outages, outages[i].String())
+		}
 	}
 
 	if spec.Op != OpSize {
@@ -160,19 +176,52 @@ func RandomSpec(rng *rand.Rand, b Bounds) Spec {
 
 	// One filter kind at a time, always satisfiable: outage-band bounds
 	// are drawn from the generated axis (so at least one row survives),
-	// and sample_every always keeps pre-filter row 0.
+	// and sample_every always keeps pre-filter row 0. A process axis
+	// takes no outage band, so only sample_every applies there.
 	if rng.Intn(5) == 0 {
-		pick := outages[rng.Intn(len(outages))]
-		switch rng.Intn(3) {
+		kind := rng.Intn(3)
+		if procAxis {
+			kind = 2
+		}
+		switch kind {
 		case 0:
-			spec.Filter = &Filter{MinOutage: pick.String()}
+			spec.Filter = &Filter{MinOutage: outages[rng.Intn(len(outages))].String()}
 		case 1:
-			spec.Filter = &Filter{MaxOutage: pick.String()}
+			spec.Filter = &Filter{MaxOutage: outages[rng.Intn(len(outages))].String()}
 		case 2:
 			spec.Filter = &Filter{SampleEvery: 2 + rng.Intn(2)}
 		}
 	}
 	return spec
+}
+
+// randomProcess draws one valid process axis element in a tame envelope:
+// 1-8 draws, arrival means of hundreds of hours (a handful of events per
+// yearly trace), duration means of minutes to hours. Every distribution
+// kind and the correlation mode are reachable.
+func randomProcess(rng *rand.Rand) ProcessDTO {
+	kinds := []string{"fixed", "exponential", "weibull", "empirical"}
+	shapes := []float64{0.5, 0.8, 1.5, 2, 3}
+	d := ProcessDTO{
+		Seed:        rng.Int63(),
+		Draws:       1 + rng.Intn(8),
+		Correlation: []float64{0, 0, 0.25, 0.5}[rng.Intn(4)],
+	}
+	d.Arrival = DistDTO{Kind: kinds[rng.Intn(len(kinds))]}
+	if d.Arrival.Kind != "empirical" {
+		d.Arrival.Mean = (time.Duration(300+rng.Intn(5701)) * time.Hour).String()
+		if d.Arrival.Kind == "weibull" {
+			d.Arrival.Shape = shapes[rng.Intn(len(shapes))]
+		}
+	}
+	d.Duration = DistDTO{Kind: kinds[rng.Intn(len(kinds))]}
+	if d.Duration.Kind != "empirical" {
+		d.Duration.Mean = (time.Duration(1+rng.Intn(240)) * time.Minute).String()
+		if d.Duration.Kind == "weibull" {
+			d.Duration.Shape = shapes[rng.Intn(len(shapes))]
+		}
+	}
+	return d
 }
 
 // randomOutage draws a whole-second duration inside the bounds band.

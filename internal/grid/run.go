@@ -63,7 +63,12 @@ type RowResult struct {
 	Feasible bool
 	Sizing   core.OperatingPoint
 	Best     string
-	Err      error
+
+	// Process is the payload of an evaluate row whose Point carries a
+	// stochastic outage process instead of a point duration.
+	Process *core.ProcessResult
+
+	Err error
 }
 
 // Progress reports shard completion during a streaming run.
@@ -217,8 +222,12 @@ func groupUnits(points []Point, noBatch bool) [][]Point {
 // batchable reports whether two adjacent rows differ only in their outage,
 // making them one axis-batch unit. Pointer receivers keep the hot grouping
 // loop from copying the config-bearing Point struct per comparison.
+// Process rows never batch: each is one unit of one row, so a shard cut
+// can never split a process's Monte-Carlo draws (the process evaluates
+// whole, inside its single row).
 func batchable(a, b *Point) bool {
-	return a.Servers == b.Servers &&
+	return a.Process == nil && b.Process == nil &&
+		a.Servers == b.Servers &&
 		a.Workload == b.Workload &&
 		a.HasConfig == b.HasConfig &&
 		a.Config == b.Config &&
@@ -337,7 +346,15 @@ func (r *Runner) evalPoint(ctx context.Context, op string, p Point) (RowResult, 
 			row.Best = tech.Name()
 		}
 	default: // OpEvaluate
-		row.Result, err = fw.EvaluateCtx(ctx, p.Config, p.Technique, p.Workload, p.Outage)
+		if p.Process != nil {
+			var pr core.ProcessResult
+			pr, err = fw.EvaluateProcessCtx(ctx, p.Config, p.Technique, p.Workload, *p.Process)
+			if err == nil {
+				row.Process = &pr
+			}
+		} else {
+			row.Result, err = fw.EvaluateCtx(ctx, p.Config, p.Technique, p.Workload, p.Outage)
+		}
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"backuppower/internal/core"
+	"backuppower/internal/outage"
 	"backuppower/internal/resultstore"
+	"backuppower/internal/units"
 )
 
 // rowStoreBox wraps the Store interface so it can sit behind an atomic
@@ -65,8 +67,28 @@ func rowInvariant(op string, p *Point) [32]byte {
 	return d
 }
 
-// rowKey is the persistent store key for one plan row.
+// processInvariant digests a process row's coordinates: the point-row
+// invariant content plus the full process spec (sans seed, which is the
+// key stamp the way the outage is for point rows). The distinct
+// "prow/v1" prefix and the 'P' namespace byte together guarantee a
+// process row's fingerprint can never alias a point row's.
+func processInvariant(op string, p *Point) [32]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "prow/v1|op=%s|servers=%d|load=%#v|hascfg=%t|cfg=%#v|family=%s|tech=%T%#v|draws=%d|arr=%#v|dur=%#v|corr=%v",
+		op, p.Servers, p.Workload, p.HasConfig, p.Config, p.Family, p.Technique, p.Technique,
+		p.Process.Draws, p.Process.Arrival, p.Process.Duration, p.Process.Correlation)
+	var d [32]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// rowKey is the persistent store key for one plan row: the 'R' namespace
+// stamped with the outage for point rows, the 'P' namespace stamped with
+// the process seed for process rows.
 func rowKey(op string, p *Point) resultstore.Key {
+	if p.Process != nil {
+		return resultstore.NewKey(resultstore.NSProcessRow, processInvariant(op, p), p.Process.Seed)
+	}
 	return resultstore.NewKey(resultstore.NSRow, rowInvariant(op, p), int64(p.Outage))
 }
 
@@ -108,10 +130,88 @@ func storedFromRow(op string, row *RowResult) (resultstore.StoredRow, bool) {
 		r := row.Result
 		sr.Result = &r
 	default: // OpEvaluate
-		r := row.Result
-		sr.Result = &r
+		if p.Process != nil {
+			if row.Process == nil {
+				return resultstore.StoredRow{}, false
+			}
+			sr.Process = storedProcess(p.Process, row.Process)
+		} else {
+			r := row.Result
+			sr.Result = &r
+		}
 	}
 	return sr, true
+}
+
+// storedProcess flattens a resolved process spec plus its evaluation
+// into the store's model-free payload form.
+func storedProcess(p *outage.Process, r *core.ProcessResult) *resultstore.StoredProcess {
+	return &resultstore.StoredProcess{
+		Seed:           p.Seed,
+		Draws:          p.Draws,
+		ArrivalKind:    p.Arrival.Kind,
+		ArrivalMeanNS:  int64(p.Arrival.Mean),
+		ArrivalShape:   p.Arrival.Shape,
+		DurationKind:   p.Duration.Kind,
+		DurationMeanNS: int64(p.Duration.Mean),
+		DurationShape:  p.Duration.Shape,
+		Correlation:    p.Correlation,
+
+		Events:             r.Events,
+		Availability:       r.Availability,
+		ExpectedDowntimeNS: int64(r.ExpectedDowntime),
+		DowntimeP50NS:      int64(r.DowntimeP50),
+		DowntimeP95NS:      int64(r.DowntimeP95),
+		DowntimeP99NS:      int64(r.DowntimeP99),
+		DowntimeMaxNS:      int64(r.DowntimeMax),
+		SurvivalRate:       r.SurvivalRate,
+		Perf:               r.Perf,
+		EnergyShortfallWh:  float64(r.EnergyShortfallWh),
+		NormCost:           r.Cost,
+	}
+}
+
+// processFromStored reconstructs the process spec a stored row was
+// evaluated against (the coordinate side of StoredProcess).
+func processFromStored(sp *resultstore.StoredProcess) *outage.Process {
+	return &outage.Process{
+		Seed:  sp.Seed,
+		Draws: sp.Draws,
+		Arrival: outage.Dist{
+			Kind:  sp.ArrivalKind,
+			Mean:  time.Duration(sp.ArrivalMeanNS),
+			Shape: sp.ArrivalShape,
+		},
+		Duration: outage.Dist{
+			Kind:  sp.DurationKind,
+			Mean:  time.Duration(sp.DurationMeanNS),
+			Shape: sp.DurationShape,
+		},
+		Correlation: sp.Correlation,
+	}
+}
+
+// processResultFromStored reconstructs the core.ProcessResult payload of
+// a stored process row.
+func processResultFromStored(sr *resultstore.StoredRow) core.ProcessResult {
+	sp := sr.Process
+	return core.ProcessResult{
+		Technique:         sr.Technique,
+		Config:            sr.Config,
+		Workload:          sr.Workload,
+		Draws:             sp.Draws,
+		Events:            sp.Events,
+		Availability:      sp.Availability,
+		ExpectedDowntime:  time.Duration(sp.ExpectedDowntimeNS),
+		DowntimeP50:       time.Duration(sp.DowntimeP50NS),
+		DowntimeP95:       time.Duration(sp.DowntimeP95NS),
+		DowntimeP99:       time.Duration(sp.DowntimeP99NS),
+		DowntimeMax:       time.Duration(sp.DowntimeMaxNS),
+		SurvivalRate:      sp.SurvivalRate,
+		Perf:              sp.Perf,
+		EnergyShortfallWh: units.WattHours(sp.EnergyShortfallWh),
+		Cost:              sp.NormCost,
+	}
 }
 
 // rowFromStored reconstructs a RowResult from a stored payload, cross-
@@ -133,6 +233,12 @@ func rowFromStored(op string, p Point, sr *resultstore.StoredRow) (RowResult, bo
 		wantTech = p.Technique.Name()
 	}
 	if sr.Technique != wantTech {
+		return RowResult{}, false
+	}
+	if (p.Process == nil) != (sr.Process == nil) {
+		return RowResult{}, false
+	}
+	if p.Process != nil && *processFromStored(sr.Process) != *p.Process {
 		return RowResult{}, false
 	}
 	row := RowResult{Point: p}
@@ -157,6 +263,11 @@ func rowFromStored(op string, p Point, sr *resultstore.StoredRow) (RowResult, bo
 		row.Best = sr.Best
 		row.Result = *sr.Result
 	default: // OpEvaluate
+		if p.Process != nil {
+			pr := processResultFromStored(sr)
+			row.Process = &pr
+			break
+		}
 		if sr.Result == nil {
 			return RowResult{}, false
 		}
@@ -177,7 +288,12 @@ func DTOFromStored(sr *resultstore.StoredRow) RowDTO {
 		Workload:  sr.Workload,
 		Family:    sr.Family,
 		Technique: sr.Technique,
-		Outage:    time.Duration(sr.OutageNS).String(),
+	}
+	if sr.Process != nil {
+		pd := ProcessDTOFromProcess(processFromStored(sr.Process))
+		d.Process = &pd
+	} else {
+		d.Outage = time.Duration(sr.OutageNS).String()
 	}
 	if sr.HasConfig {
 		d.Config = sr.Config
@@ -201,7 +317,10 @@ func DTOFromStored(sr *resultstore.StoredRow) RowDTO {
 			d.Result = &r
 		}
 	default: // OpEvaluate
-		if sr.Result != nil {
+		if sr.Process != nil {
+			r := NewProcessResultDTO(processResultFromStored(sr))
+			d.ProcessResult = &r
+		} else if sr.Result != nil {
 			r := NewResultDTO(*sr.Result)
 			d.Result = &r
 		}
@@ -237,11 +356,18 @@ func consultStore(store resultstore.Store, op string, pts []Point, merged []RowR
 			coldPos = append(coldPos, i)
 			continue
 		}
-		if !haveInv || (i > 0 && !batchable(&pts[i-1], p)) {
-			inv = rowInvariant(op, p)
-			haveInv = true
+		if p.Process != nil {
+			// Process rows never batch, so there is nothing to amortize:
+			// each gets its own 'P'-namespace key.
+			haveInv = false
+			st.keys[i] = rowKey(op, p)
+		} else {
+			if !haveInv || (i > 0 && !batchable(&pts[i-1], p)) {
+				inv = rowInvariant(op, p)
+				haveInv = true
+			}
+			st.keys[i] = resultstore.NewKey(resultstore.NSRow, inv, int64(p.Outage))
 		}
-		st.keys[i] = resultstore.NewKey(resultstore.NSRow, inv, int64(p.Outage))
 		st.keyed[i] = true
 		if payload, ok := store.Get(st.keys[i]); ok {
 			if sr, err := resultstore.DecodeRow(payload); err == nil {

@@ -1,0 +1,96 @@
+package httpapi
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+const processSweepBody = `{"spec":{"workloads":["specjbb"],"configs":[{"name":"NoDG"}],` +
+	`"techniques":[{"name":"baseline"}],` +
+	`"outage_processes":[` +
+	`{"seed":42,"draws":8,"arrival":{"kind":"exponential","mean":"2000h"},` +
+	`"duration":{"kind":"weibull","mean":"30m","shape":0.8},"correlation":0.3},` +
+	`{"seed":7,"draws":4,"arrival":{"kind":"empirical"},"duration":{"kind":"empirical"}}]}}`
+
+// TestResultsServeProcessRows: a process-axis sweep persists under the
+// 'P' namespace and GET /v1/results serves the rows back — filterable
+// by seed/draws/availability, carrying the process echo and payload —
+// alongside point rows without aliasing.
+func TestResultsServeProcessRows(t *testing.T) {
+	ts := newStoreServer(t)
+
+	// A point sweep AND a process sweep populate the store: both
+	// namespaces must serve from one /v1/results scan.
+	resp, raw := post(t, ts.URL+"/v1/sweep",
+		`{"spec":{"workloads":["specjbb"],"configs":[{"name":"NoDG"}],"techniques":[{"name":"baseline"}],"outages":["5m"]}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("point sweep: status %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw = post(t, ts.URL+"/v1/sweep", processSweepBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("process sweep: status %d: %s", resp.StatusCode, raw)
+	}
+	sweepRows := decodeResultRows(t, raw)
+	if len(sweepRows) != 2 {
+		t.Fatalf("process sweep returned %d rows, want 2", len(sweepRows))
+	}
+
+	resp, body := getResults(t, ts.URL, `op="evaluate"`, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	rows := decodeResultRows(t, body)
+	var procs, points int
+	for _, r := range rows {
+		if r.Process != nil {
+			procs++
+			if r.ProcessResult == nil || r.Outage != "" {
+				t.Fatalf("process row payload wrong: %+v", r)
+			}
+		} else {
+			points++
+			if r.Outage == "" || r.Result == nil {
+				t.Fatalf("point row payload wrong: %+v", r)
+			}
+		}
+	}
+	if procs != 2 || points != 1 {
+		t.Fatalf("served %d process + %d point rows, want 2 + 1", procs, points)
+	}
+
+	// Seed filtering reaches the stored process rows.
+	resp, body = getResults(t, ts.URL, `seed=42`, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	rows = decodeResultRows(t, body)
+	if len(rows) != 1 || rows[0].Process == nil || rows[0].Process.Seed != 42 {
+		t.Fatalf("seed=42 query wrong rows: %+v", rows)
+	}
+
+	// The served process row is byte-for-byte the sweep's row payload
+	// (Index pinned to 0 on stored rows, as for point rows).
+	var want bytes.Buffer
+	for _, line := range strings.SplitAfter(string(raw), "\n") {
+		if strings.Contains(line, `"seed":42`) {
+			want.WriteString(line)
+		}
+	}
+	if want.Len() == 0 {
+		t.Fatal("sweep output does not contain the seed-42 row")
+	}
+	if got := string(body); got != want.String() {
+		t.Fatalf("served process row drifted from sweep bytes:\ngot:  %swant: %s", got, want.String())
+	}
+
+	// Availability is a process-only query field.
+	resp, body = getResults(t, ts.URL, `availability>=0`, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if rows = decodeResultRows(t, body); len(rows) != 2 {
+		t.Fatalf("availability>=0 matched %d rows, want the 2 process rows", len(rows))
+	}
+}

@@ -53,22 +53,27 @@ func NewResultsHandler(store resultstore.Store) http.HandlerFunc {
 			limit = n
 		}
 
+		// Point rows ('R') and process rows ('P') are both servable; the
+		// query language's canonical sort interleaves them
+		// deterministically whatever the scan order.
 		var rows []resultstore.StoredRow
-		scanErr := store.Scan(resultstore.NSRow, func(_ resultstore.Key, payload []byte) error {
-			sr, err := resultstore.DecodeRow(payload)
-			if err != nil {
-				// An undecodable payload (foreign schema version) is not
-				// servable; it degrades to absent, exactly as on the write
-				// path.
+		for _, ns := range []byte{resultstore.NSRow, resultstore.NSProcessRow} {
+			scanErr := store.Scan(ns, func(_ resultstore.Key, payload []byte) error {
+				sr, err := resultstore.DecodeRow(payload)
+				if err != nil {
+					// An undecodable payload (foreign schema version) is not
+					// servable; it degrades to absent, exactly as on the write
+					// path.
+					return nil
+				}
+				rows = append(rows, sr)
 				return nil
+			})
+			if scanErr != nil {
+				writeError(w, &apiError{status: http.StatusInternalServerError,
+					code: "store_scan", message: "result store scan failed"})
+				return
 			}
-			rows = append(rows, sr)
-			return nil
-		})
-		if scanErr != nil {
-			writeError(w, &apiError{status: http.StatusInternalServerError,
-				code: "store_scan", message: "result store scan failed"})
-			return
 		}
 
 		out := plan.Execute(rows)

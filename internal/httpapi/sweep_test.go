@@ -245,6 +245,12 @@ func TestGoldenSweep(t *testing.T) {
 			`"techniques":[{"name":"hibernate","proactive":true},{"name":"baseline"}],"outages":["1h"]}}`},
 		{"sweep-best", `{"spec":{"op":"best","workloads":["memcached"],` +
 			`"configs":[{"name":"SmallPUPS"},{"name":"MinCost"}],"outages":["30m"]}}`},
+		{"sweep-process", `{"spec":{"workloads":["specjbb"],"configs":[{"name":"NoDG"}],` +
+			`"techniques":[{"name":"baseline"},{"name":"sleep","low_power":true}],` +
+			`"outage_processes":[` +
+			`{"seed":42,"draws":8,"arrival":{"kind":"exponential","mean":"2000h"},` +
+			`"duration":{"kind":"weibull","mean":"30m","shape":0.8},"correlation":0.3},` +
+			`{"seed":7,"draws":4,"arrival":{"kind":"empirical"},"duration":{"kind":"empirical"}}]}}`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

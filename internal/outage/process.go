@@ -1,0 +1,298 @@
+package outage
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file is the ROADMAP item 4(a) outage-process model: a seeded,
+// deterministic stochastic outage-trace generator. A Process describes a
+// yearly alternating pattern of inter-arrival gaps and outage durations
+// (each drawn from a configurable distribution) plus an optional
+// correlated multi-failure mode, and Draw(i) expands it into the i-th
+// reproducible yearly []Event trace.
+//
+// Determinism discipline: a Process is a pure value — it holds no
+// generator state. Every (draw, event) pair derives its own splitmix64
+// stream via DeriveSeed, and every sample consumes exactly one uniform
+// from that private stream, so:
+//
+//   - Draw(i) is a pure function of (Process fields, i): calling it
+//     twice, in any order, from any goroutine, or under `go test
+//     -count=3`, yields identical traces;
+//   - changing one distribution parameter re-maps the SAME uniforms
+//     through the new quantile, which couples parameter changes
+//     pointwise — the property the metamorphic antitone suite leans on
+//     (a larger duration mean makes every drawn duration longer, a
+//     shorter arrival mean makes every arrival earlier).
+//
+// Arrival starts form a renewal process of the gap samples alone (event
+// k's nominal start is the k-th partial sum of gaps, independent of any
+// duration), so growing durations never shifts, drops, or adds arrivals.
+// An event whose nominal start lands inside the previous outage is a
+// correlated pile-up: it is serialized back-to-back after it (the grid
+// is still down), keeping traces non-overlapping while preserving every
+// drawn duration.
+
+// Distribution kinds a Dist can name.
+const (
+	// KindFixed is a degenerate point mass at Mean — the bridge to the
+	// paper's point-outage evaluation (a single-draw fixed process
+	// reproduces the scalar result bit for bit).
+	KindFixed = "fixed"
+	// KindExponential is an exponential with the given Mean (a Poisson
+	// arrival process when used for inter-arrival gaps).
+	KindExponential = "exponential"
+	// KindWeibull is a Weibull with the given Mean and Shape (shape < 1
+	// is heavy-tailed; shape 1 degenerates to exponential).
+	KindWeibull = "weibull"
+	// KindEmpirical uses the paper's Figure 1 data: durations are drawn
+	// from DurationDistribution (Fig 1(b)); arrivals are exponential
+	// with the mean yearly rate of FrequencyDistribution (Fig 1(a)).
+	// Mean and Shape must be unset — the data fixes both.
+	KindEmpirical = "empirical"
+)
+
+// Model bounds. They keep a hostile spec from requesting unbounded work
+// (the fuzz targets' no-OOM contract) while leaving room far past any
+// realistic utility-outage regime.
+const (
+	// Year is the trace horizon: every draw is one 365-day year.
+	Year = 365 * 24 * time.Hour
+
+	// MaxDraws caps the Monte-Carlo draws of one process.
+	MaxDraws = 1024
+
+	// MaxEventsPerDraw caps one yearly trace's event count.
+	MaxEventsPerDraw = 1024
+
+	// MinEventDuration / MaxEventDuration band every drawn outage
+	// duration. The max mirrors core.MaxOutage (the framework rejects
+	// longer scalar outages for the same reason); events are quantized
+	// to whole seconds, so the min is one second.
+	MinEventDuration = time.Second
+	MaxEventDuration = 30 * 24 * time.Hour
+
+	// MinArrivalMean / MaxArrivalMean band the mean inter-arrival gap.
+	// The floor bounds the expected event count (~Year/mean ≈ 8760 at
+	// one hour, ahead of the MaxEventsPerDraw clamp); the ceiling
+	// admits processes quiet enough to draw zero-event years.
+	MinArrivalMean = time.Hour
+	MaxArrivalMean = 10 * Year
+
+	// MaxCorrelation bounds the correlated multi-failure coefficient.
+	MaxCorrelation = 0.99
+
+	// Weibull shape bounds.
+	MinShape = 0.05
+	MaxShape = 20.0
+)
+
+// Dist selects one sampling distribution: a Kind plus its parameters.
+// Mean is the distribution mean; Shape applies to KindWeibull only.
+type Dist struct {
+	Kind  string
+	Mean  time.Duration
+	Shape float64
+}
+
+// validate checks one distribution's parameters against the role it
+// plays (arrival gaps and event durations carry different mean bounds).
+func (d Dist) validate(arrival bool) error {
+	switch d.Kind {
+	case KindEmpirical:
+		if d.Mean != 0 {
+			return fmt.Errorf("outage: mean does not apply to the %s distribution", d.Kind)
+		}
+		if d.Shape != 0 {
+			return fmt.Errorf("outage: shape does not apply to the %s distribution", d.Kind)
+		}
+		return nil
+	case KindWeibull:
+		if !(d.Shape >= MinShape && d.Shape <= MaxShape) { // NaN fails
+			return fmt.Errorf("outage: weibull shape %v out of [%v, %v]", d.Shape, MinShape, MaxShape)
+		}
+	case KindFixed, KindExponential:
+		if d.Shape != 0 {
+			return fmt.Errorf("outage: shape does not apply to the %s distribution", d.Kind)
+		}
+	default:
+		return fmt.Errorf("outage: unknown distribution kind %q (known: %s, %s, %s, %s)",
+			d.Kind, KindFixed, KindExponential, KindWeibull, KindEmpirical)
+	}
+	lo, hi := MinEventDuration, time.Duration(MaxEventDuration)
+	if arrival {
+		lo, hi = MinArrivalMean, MaxArrivalMean
+	}
+	if d.Mean < lo || d.Mean > hi {
+		return fmt.Errorf("outage: mean %v out of [%v, %v]", d.Mean, lo, hi)
+	}
+	return nil
+}
+
+// sample maps one uniform u in [0, 1) through the distribution's
+// quantile. Exactly one uniform per sample is the alignment contract the
+// package comment describes. The returned duration is clamped to a
+// finite non-negative value; role-specific bands are applied by the
+// caller.
+func (d Dist) sample(u float64, arrival bool) time.Duration {
+	switch d.Kind {
+	case KindFixed:
+		return d.Mean
+	case KindExponential:
+		return expSample(d.Mean, u)
+	case KindWeibull:
+		scale := float64(d.Mean) / math.Gamma(1+1/d.Shape)
+		return durFromFloat(scale * math.Pow(-math.Log1p(-u), 1/d.Shape))
+	case KindEmpirical:
+		if arrival {
+			return expSample(EmpiricalArrivalMean(), u)
+		}
+		return DurationDistribution().Quantile(u)
+	}
+	return 0
+}
+
+// expSample is the exponential quantile -mean*ln(1-u).
+func expSample(mean time.Duration, u float64) time.Duration {
+	return durFromFloat(-float64(mean) * math.Log1p(-u))
+}
+
+// sampleCap bounds a single raw sample before conversion to
+// time.Duration, guarding int64 overflow on extreme tail draws (an
+// exponential's quantile is unbounded). It exceeds both the year horizon
+// and the event-duration cap, so the clamp never changes which events a
+// trace contains — min(x, cap) is also monotone, preserving the
+// pointwise-coupling property.
+const sampleCap = 20 * Year
+
+// durFromFloat converts a sampled float64 of nanoseconds to a duration,
+// clamped to [0, sampleCap] (NaN maps to 0).
+func durFromFloat(ns float64) time.Duration {
+	if !(ns > 0) {
+		return 0
+	}
+	if ns > float64(sampleCap) {
+		return sampleCap
+	}
+	return time.Duration(ns)
+}
+
+// EmpiricalArrivalMean returns the mean inter-arrival gap implied by
+// Figure 1(a): Year divided by the distribution's mean yearly outage
+// count (bucket midpoints), ~2750h for the paper's ~3.2 outages/year.
+func EmpiricalArrivalMean() time.Duration {
+	mean := 0.0
+	for _, b := range FrequencyDistribution() {
+		mean += b.Prob * float64(b.Lo+b.Hi) / 2
+	}
+	return time.Duration(float64(Year) / mean)
+}
+
+// Process is a seeded stochastic outage process: Draws independent
+// yearly traces, each an alternating-renewal stream of inter-arrival
+// gaps (Arrival) and outage durations (Duration), with an optional
+// correlated multi-failure mode. The zero value is invalid; Validate
+// reports why.
+type Process struct {
+	// Seed is the splitmix64 base seed; every draw and event derives an
+	// independent stream from it (DeriveSeed), so the whole process is
+	// reproducible from this one value.
+	Seed int64
+
+	// Draws is the number of Monte-Carlo yearly traces (1..MaxDraws).
+	Draws int
+
+	// Arrival is the inter-arrival gap distribution (mean in
+	// [MinArrivalMean, MaxArrivalMean]).
+	Arrival Dist
+
+	// Duration is the per-event outage duration distribution (mean in
+	// [MinEventDuration, MaxEventDuration]).
+	Duration Dist
+
+	// Correlation is the correlated multi-failure coefficient in
+	// [0, MaxCorrelation]: each event independently extends, with this
+	// probability, by one extra duration draw — a second failure piling
+	// on before recovery, lengthening the event it joins.
+	Correlation float64
+}
+
+// Validate checks the process parameters. A nil error guarantees Draw
+// returns a well-formed trace for every draw index in [0, Draws).
+func (p Process) Validate() error {
+	if p.Draws < 1 || p.Draws > MaxDraws {
+		return fmt.Errorf("outage: draws %d out of [1, %d]", p.Draws, MaxDraws)
+	}
+	if !(p.Correlation >= 0 && p.Correlation <= MaxCorrelation) { // NaN fails
+		return fmt.Errorf("outage: correlation %v out of [0, %v]", p.Correlation, MaxCorrelation)
+	}
+	if err := p.Arrival.validate(true); err != nil {
+		return fmt.Errorf("arrival: %w", err)
+	}
+	if err := p.Duration.validate(false); err != nil {
+		return fmt.Errorf("duration: %w", err)
+	}
+	return nil
+}
+
+// Draw expands the i-th yearly trace (i in [0, Draws)). Events are
+// sorted by start, non-overlapping, each with a whole-second duration in
+// [MinEventDuration, MaxEventDuration]; at most MaxEventsPerDraw events
+// are produced. Draw is a pure function of the process value and i —
+// no state is carried between calls (see the package comment).
+func (p Process) Draw(i int) []Event {
+	drawSeed := DeriveSeed(p.Seed, int64(i))
+	var events []Event
+	var renewal time.Duration // gap-only arrival clock
+	var prevEnd time.Duration
+	for k := 0; len(events) < MaxEventsPerDraw; k++ {
+		rng := newSplitmix(DeriveSeed(drawSeed, int64(k)))
+		renewal += p.Arrival.sample(rng.float64(), true)
+		if renewal > Year {
+			break
+		}
+		d := p.Duration.sample(rng.float64(), false)
+		if p.Correlation > 0 && rng.float64() < p.Correlation {
+			d += p.Duration.sample(rng.float64(), false)
+		}
+		// Quantize to whole seconds inside the band: truncation keeps the
+		// clamp monotone, and discrete durations keep downstream memo
+		// caches from filling with near-unique nanosecond keys.
+		if d > MaxEventDuration {
+			d = MaxEventDuration
+		}
+		d = d.Truncate(time.Second)
+		if d < MinEventDuration {
+			d = MinEventDuration
+		}
+		start := renewal
+		if start < prevEnd {
+			start = prevEnd // pile-up: serialized behind the ongoing outage
+		}
+		events = append(events, Event{Start: start, Duration: d})
+		prevEnd = start + d
+	}
+	return events
+}
+
+// splitmix is a splitmix64 generator held BY VALUE: each (draw, event)
+// stream constructs its own from a derived seed, so no Process method
+// ever mutates shared state. The finalizer matches DeriveSeed.
+type splitmix struct{ state uint64 }
+
+func newSplitmix(seed int64) splitmix { return splitmix{state: uint64(seed)} }
+
+func (r *splitmix) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform in [0, 1) with 53 random bits.
+func (r *splitmix) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

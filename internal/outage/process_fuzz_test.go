@@ -1,0 +1,65 @@
+package outage
+
+import (
+	"testing"
+	"time"
+)
+
+// fuzzKinds maps a fuzzed byte onto a distribution kind, including an
+// unknown one so the rejection path stays under fuzz.
+var fuzzKinds = []string{KindFixed, KindExponential, KindWeibull, KindEmpirical, "bogus", ""}
+
+// FuzzProcessDraw is the hostile-parameter contract for the process
+// model: any parameter combination either fails Validate with a plain
+// error, or draws traces that tile validly — sorted, non-overlapping,
+// banded whole-second durations, bounded event counts. No input may
+// panic or request unbounded work.
+func FuzzProcessDraw(f *testing.F) {
+	f.Add(int64(42), 8, uint8(1), int64(2000*time.Hour), 0.0, uint8(2), int64(30*time.Minute), 0.8, 0.3)
+	f.Add(int64(0), 1, uint8(0), int64(5000*time.Hour), 0.0, uint8(0), int64(10*time.Minute), 0.0, 0.0)
+	f.Add(int64(-1), 1024, uint8(3), int64(0), 0.0, uint8(3), int64(0), 0.0, 0.99)
+	f.Add(int64(7), 0, uint8(4), int64(-time.Hour), -1.0, uint8(5), int64(1<<62), 1e308, -0.5)
+	f.Add(int64(9), 2, uint8(1), int64(time.Hour), 0.0, uint8(2), int64(720*time.Hour), 0.05, 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, draws int, aKind uint8, aMean int64, aShape float64,
+		dKind uint8, dMean int64, dShape float64, corr float64) {
+		p := Process{
+			Seed:        seed,
+			Draws:       draws,
+			Arrival:     Dist{Kind: fuzzKinds[int(aKind)%len(fuzzKinds)], Mean: time.Duration(aMean), Shape: aShape},
+			Duration:    Dist{Kind: fuzzKinds[int(dKind)%len(fuzzKinds)], Mean: time.Duration(dMean), Shape: dShape},
+			Correlation: corr,
+		}
+		if err := p.Validate(); err != nil {
+			return // rejected cleanly — the contract for hostile params
+		}
+		n := p.Draws
+		if n > 4 {
+			n = 4 // a valid process may ask for 1024 draws; bound fuzz work
+		}
+		for i := 0; i < n; i++ {
+			events := p.Draw(i)
+			if len(events) > MaxEventsPerDraw {
+				t.Fatalf("draw %d: %d events exceeds cap", i, len(events))
+			}
+			var prevEnd time.Duration
+			for k, e := range events {
+				if e.Start < prevEnd {
+					t.Fatalf("draw %d event %d: start %v overlaps previous end %v", i, k, e.Start, prevEnd)
+				}
+				if e.Start > Year && e.Start != prevEnd {
+					// Only a pile-up serialized behind an ongoing outage may
+					// start past year-end (spillover); its start then equals
+					// the previous event's end exactly.
+					t.Fatalf("draw %d event %d: start %v past year horizon without a pile-up", i, k, e.Start)
+				}
+				if e.Duration < MinEventDuration || e.Duration > MaxEventDuration {
+					t.Fatalf("draw %d event %d: duration %v out of band", i, k, e.Duration)
+				}
+				if e.Duration != e.Duration.Truncate(time.Second) {
+					t.Fatalf("draw %d event %d: duration %v not whole seconds", i, k, e.Duration)
+				}
+				prevEnd = e.Start + e.Duration
+			}
+		}
+	})
+}

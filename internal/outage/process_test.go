@@ -1,0 +1,237 @@
+package outage
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func validProcess() Process {
+	return Process{
+		Seed:        42,
+		Draws:       8,
+		Arrival:     Dist{Kind: KindExponential, Mean: 2000 * time.Hour},
+		Duration:    Dist{Kind: KindWeibull, Mean: 30 * time.Minute, Shape: 0.8},
+		Correlation: 0.3,
+	}
+}
+
+// TestProcessDrawDeterministic pins the purity contract: Draw(i) is a
+// function of (process, i) alone — repeated calls, reversed draw order,
+// and a fresh copy of the value all yield identical traces.
+func TestProcessDrawDeterministic(t *testing.T) {
+	p := validProcess()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	first := make([][]Event, p.Draws)
+	for i := 0; i < p.Draws; i++ {
+		first[i] = p.Draw(i)
+	}
+	q := p // fresh value copy: no hidden generator state may leak
+	for i := p.Draws - 1; i >= 0; i-- {
+		if got := q.Draw(i); !reflect.DeepEqual(got, first[i]) {
+			t.Fatalf("draw %d differs on reversed re-draw:\n got %v\nwant %v", i, got, first[i])
+		}
+	}
+}
+
+// TestProcessDrawsDiffer: distinct draw indices and distinct seeds give
+// distinct traces (the streams are actually independent, not aliased).
+func TestProcessDrawsDiffer(t *testing.T) {
+	p := validProcess()
+	if reflect.DeepEqual(p.Draw(0), p.Draw(1)) {
+		t.Fatal("draws 0 and 1 are identical — draw streams are aliased")
+	}
+	q := p
+	q.Seed = 43
+	if reflect.DeepEqual(p.Draw(0), q.Draw(0)) {
+		t.Fatal("seeds 42 and 43 give identical draws — seed is ignored")
+	}
+}
+
+// checkTiling asserts the Draw post-conditions: events sorted by start,
+// non-overlapping, whole-second durations inside the band, and within
+// the year+spillover horizon.
+func checkTiling(t *testing.T, events []Event) {
+	t.Helper()
+	if len(events) > MaxEventsPerDraw {
+		t.Fatalf("%d events exceeds MaxEventsPerDraw", len(events))
+	}
+	var prevEnd time.Duration
+	for k, e := range events {
+		if e.Start < prevEnd {
+			t.Fatalf("event %d start %v overlaps previous end %v", k, e.Start, prevEnd)
+		}
+		if e.Start > Year && e.Start != prevEnd {
+			// Spillover: only a pile-up serialized behind an ongoing outage
+			// may start past year-end, and then exactly at the prior end.
+			t.Fatalf("event %d start %v past the year horizon without a pile-up", k, e.Start)
+		}
+		if e.Duration < MinEventDuration || e.Duration > MaxEventDuration {
+			t.Fatalf("event %d duration %v outside [%v, %v]", k, e.Duration, MinEventDuration, MaxEventDuration)
+		}
+		if e.Duration != e.Duration.Truncate(time.Second) {
+			t.Fatalf("event %d duration %v not whole seconds", k, e.Duration)
+		}
+		prevEnd = e.Start + e.Duration
+	}
+}
+
+// TestProcessDrawTiling sweeps kinds and correlations and asserts every
+// trace tiles validly.
+func TestProcessDrawTiling(t *testing.T) {
+	arrivals := []Dist{
+		{Kind: KindFixed, Mean: 1500 * time.Hour},
+		{Kind: KindExponential, Mean: 500 * time.Hour},
+		{Kind: KindWeibull, Mean: 1000 * time.Hour, Shape: 1.5},
+		{Kind: KindEmpirical},
+	}
+	durations := []Dist{
+		{Kind: KindFixed, Mean: 10 * time.Minute},
+		{Kind: KindExponential, Mean: time.Hour},
+		{Kind: KindWeibull, Mean: 20 * time.Minute, Shape: 0.5},
+		{Kind: KindEmpirical},
+	}
+	for ai, a := range arrivals {
+		for di, d := range durations {
+			for _, corr := range []float64{0, 0.5, MaxCorrelation} {
+				p := Process{Seed: int64(ai*100 + di), Draws: 4, Arrival: a, Duration: d, Correlation: corr}
+				if err := p.Validate(); err != nil {
+					t.Fatalf("arrival %d duration %d: %v", ai, di, err)
+				}
+				for i := 0; i < p.Draws; i++ {
+					checkTiling(t, p.Draw(i))
+				}
+			}
+		}
+	}
+}
+
+// TestProcessQuietYearDrawsZeroEvents: a fixed arrival gap longer than
+// the year never produces an event — quiet years are representable.
+func TestProcessQuietYearDrawsZeroEvents(t *testing.T) {
+	p := Process{
+		Seed:     7,
+		Draws:    4,
+		Arrival:  Dist{Kind: KindFixed, Mean: 2 * Year},
+		Duration: Dist{Kind: KindFixed, Mean: time.Hour},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Draws; i++ {
+		if events := p.Draw(i); len(events) != 0 {
+			t.Fatalf("draw %d: want zero events from a quiet year, got %d", i, len(events))
+		}
+	}
+}
+
+// TestProcessSingleFixedEvent: a fixed arrival mean in (Year/2, Year]
+// yields exactly one event per draw at that start with the fixed
+// duration — the degenerate bridge the scalar-equivalence suite uses.
+func TestProcessSingleFixedEvent(t *testing.T) {
+	p := Process{
+		Seed:     99,
+		Draws:    3,
+		Arrival:  Dist{Kind: KindFixed, Mean: 5000 * time.Hour},
+		Duration: Dist{Kind: KindFixed, Mean: 10 * time.Minute},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Draws; i++ {
+		events := p.Draw(i)
+		if len(events) != 1 {
+			t.Fatalf("draw %d: want exactly 1 event, got %d", i, len(events))
+		}
+		if events[0].Start != 5000*time.Hour || events[0].Duration != 10*time.Minute {
+			t.Fatalf("draw %d: got %+v", i, events[0])
+		}
+	}
+}
+
+// TestProcessValidateRejects is the hostile-parameter table: each bad
+// spec must fail Validate with a plain error, never panic.
+func TestProcessValidateRejects(t *testing.T) {
+	base := validProcess()
+	cases := []struct {
+		name string
+		mut  func(*Process)
+	}{
+		{"zero draws", func(p *Process) { p.Draws = 0 }},
+		{"negative draws", func(p *Process) { p.Draws = -1 }},
+		{"excessive draws", func(p *Process) { p.Draws = MaxDraws + 1 }},
+		{"negative correlation", func(p *Process) { p.Correlation = -0.1 }},
+		{"correlation one", func(p *Process) { p.Correlation = 1 }},
+		{"NaN correlation", func(p *Process) { p.Correlation = math.NaN() }},
+		{"unknown kind", func(p *Process) { p.Arrival.Kind = "bogus" }},
+		{"zero arrival mean", func(p *Process) { p.Arrival = Dist{Kind: KindExponential} }},
+		{"negative arrival mean", func(p *Process) { p.Arrival = Dist{Kind: KindExponential, Mean: -time.Hour} }},
+		{"tiny arrival mean", func(p *Process) { p.Arrival = Dist{Kind: KindExponential, Mean: time.Minute} }},
+		{"huge arrival mean", func(p *Process) { p.Arrival = Dist{Kind: KindExponential, Mean: 11 * Year} }},
+		{"zero duration mean", func(p *Process) { p.Duration = Dist{Kind: KindFixed} }},
+		{"oversized duration mean", func(p *Process) { p.Duration = Dist{Kind: KindFixed, Mean: 31 * 24 * time.Hour} }},
+		{"weibull without shape", func(p *Process) { p.Duration = Dist{Kind: KindWeibull, Mean: time.Hour} }},
+		{"weibull NaN shape", func(p *Process) { p.Duration = Dist{Kind: KindWeibull, Mean: time.Hour, Shape: math.NaN()} }},
+		{"weibull tiny shape", func(p *Process) { p.Duration = Dist{Kind: KindWeibull, Mean: time.Hour, Shape: 0.01} }},
+		{"weibull huge shape", func(p *Process) { p.Duration = Dist{Kind: KindWeibull, Mean: time.Hour, Shape: 21} }},
+		{"fixed with shape", func(p *Process) { p.Duration = Dist{Kind: KindFixed, Mean: time.Hour, Shape: 1} }},
+		{"empirical with mean", func(p *Process) { p.Arrival = Dist{Kind: KindEmpirical, Mean: time.Hour} }},
+		{"empirical with shape", func(p *Process) { p.Duration = Dist{Kind: KindEmpirical, Shape: 1} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mut(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", p)
+			}
+		})
+	}
+}
+
+// TestEmpiricalArrivalMean pins the Figure 1(a) derived mean gap to the
+// paper's ~3.2 outages/year regime.
+func TestEmpiricalArrivalMean(t *testing.T) {
+	m := EmpiricalArrivalMean()
+	if m < 2000*time.Hour || m > 3500*time.Hour {
+		t.Fatalf("empirical arrival mean %v outside the paper's ~3.2/yr regime", m)
+	}
+	if err := (Dist{Kind: KindEmpirical}).validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProcessCorrelationLengthensEvents: with correlation on, total
+// drawn outage time is never below the uncorrelated trace (same
+// uniforms; the coin only ever adds a second duration).
+func TestProcessCorrelationLengthensEvents(t *testing.T) {
+	p := validProcess()
+	q := p
+	q.Correlation = 0
+	for i := 0; i < p.Draws; i++ {
+		withCorr, without := TotalOutageTime(p.Draw(i)), TotalOutageTime(q.Draw(i))
+		if withCorr < without {
+			t.Fatalf("draw %d: correlated total %v below uncorrelated %v", i, withCorr, without)
+		}
+	}
+}
+
+// TestProcessEventCapHolds: the most aggressive admissible arrival rate
+// stays within MaxEventsPerDraw.
+func TestProcessEventCapHolds(t *testing.T) {
+	p := Process{
+		Seed:     1,
+		Draws:    2,
+		Arrival:  Dist{Kind: KindFixed, Mean: MinArrivalMean},
+		Duration: Dist{Kind: KindFixed, Mean: MinEventDuration},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Draws; i++ {
+		checkTiling(t, p.Draw(i))
+	}
+}

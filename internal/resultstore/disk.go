@@ -237,7 +237,7 @@ func parseRecord(data []byte) (k Key, payload []byte, n int, ok bool) {
 
 func (d *Disk) hit(k Key) {
 	switch k[0] {
-	case NSRow:
+	case NSRow, NSProcessRow:
 		d.hitsRows.Add(1)
 	case NSScenario:
 		d.hitsScen.Add(1)
@@ -248,7 +248,7 @@ func (d *Disk) hit(k Key) {
 
 func (d *Disk) miss(k Key) {
 	switch k[0] {
-	case NSRow:
+	case NSRow, NSProcessRow:
 		d.missRows.Add(1)
 	case NSScenario:
 		d.missScen.Add(1)

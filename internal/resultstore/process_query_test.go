@@ -1,0 +1,153 @@
+package resultstore
+
+import (
+	"testing"
+	"time"
+)
+
+func processRow(servers int, wl, cfg, tech string, seed int64, draws int, avail, perf float64) StoredRow {
+	return StoredRow{
+		V: rowSchemaV, Op: "evaluate", Servers: servers, Workload: wl,
+		Config: cfg, HasConfig: cfg != "", Technique: tech,
+		Process: &StoredProcess{
+			Seed: seed, Draws: draws,
+			ArrivalKind: "exponential", ArrivalMeanNS: int64(2000 * time.Hour),
+			DurationKind: "fixed", DurationMeanNS: int64(10 * time.Minute),
+			Events: draws, Availability: avail,
+			ExpectedDowntimeNS: int64(time.Hour), DowntimeP50NS: int64(30 * time.Minute),
+			DowntimeP95NS: int64(time.Hour), DowntimeP99NS: int64(time.Hour),
+			DowntimeMaxNS: int64(2 * time.Hour),
+			SurvivalRate:  1, Perf: perf, NormCost: 0.62,
+		},
+	}
+}
+
+func processQueryRows() []StoredRow {
+	return []StoredRow{
+		processRow(8, "specjbb", "NoDG", "Sleep", 42, 8, 0.9995, 0.80),
+		processRow(8, "specjbb", "NoDG", "Sleep", 43, 8, 0.9990, 0.70),
+		processRow(8, "memcached", "NoDG", "Baseline", 42, 16, 0.9999, 0.95),
+		evalRow(8, "specjbb", "NoDG", "Sleep", 5*time.Minute, 0.80, 1.0),
+	}
+}
+
+// TestQueryProcessFields: the query language reaches the process-row
+// fields — seed and draws filter, availability compares, and perf falls
+// through to the process payload — while point rows stay queryable by
+// outage in the same scan.
+func TestQueryProcessFields(t *testing.T) {
+	rows := processQueryRows()
+	run := func(q string) []StoredRow {
+		t.Helper()
+		plan, err := ParseQuery(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		return plan.Execute(rows).Rows
+	}
+
+	if got := run("seed=42"); len(got) != 2 {
+		t.Fatalf("seed=42 matched %d rows, want 2", len(got))
+	}
+	if got := run("seed=42 && draws=16"); len(got) != 1 || got[0].Workload != "memcached" {
+		t.Fatalf("seed+draws filter wrong: %+v", got)
+	}
+	if got := run("availability>=0.9995"); len(got) != 2 {
+		t.Fatalf("availability>=0.9995 matched %d rows, want 2", len(got))
+	}
+	// perf reaches both payload shapes: three process rows + one point row
+	// carry perf >= 0.8.
+	if got := run("perf>=0.8"); len(got) != 3 {
+		t.Fatalf("perf>=0.8 matched %d rows, want 3", len(got))
+	}
+	// outage only exists on point rows; process rows fall out of the
+	// filter rather than erroring.
+	if got := run("outage=5m"); len(got) != 1 || got[0].Process != nil {
+		t.Fatalf("outage filter leaked process rows: %+v", got)
+	}
+	// seed only exists on process rows, symmetrically.
+	for _, r := range run("seed=42") {
+		if r.Process == nil {
+			t.Fatalf("seed filter matched a point row: %+v", r)
+		}
+	}
+}
+
+// TestQueryProcessCanonicalOrder: process rows sort deterministically
+// after their shared coordinates via the process tiebreak (seed, draws,
+// distributions), and point rows order before process rows at equal
+// coordinates.
+func TestQueryProcessCanonicalOrder(t *testing.T) {
+	rows := processQueryRows()
+	plan, err := ParseQuery(`op="evaluate"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.Execute(rows).Rows
+	if len(out) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(out), len(rows))
+	}
+	// Re-execute over a rotated copy: canonical order must be identical.
+	rot := append(rows[2:], rows[:2]...)
+	out2 := plan.Execute(rot).Rows
+	for i := range out {
+		if !sameStoredRow(&out[i], &out2[i]) {
+			t.Fatalf("row %d: order depends on scan order", i)
+		}
+	}
+	// Process rows carry OutageNS 0, so they precede the 5m point row at
+	// the shared coordinates, ordered between themselves by seed.
+	var sleeps []StoredRow
+	for _, r := range out {
+		if r.Workload == "specjbb" && r.Technique == "Sleep" {
+			sleeps = append(sleeps, r)
+		}
+	}
+	if len(sleeps) != 3 {
+		t.Fatalf("want 3 specjbb/Sleep rows, got %d", len(sleeps))
+	}
+	if sleeps[0].Process == nil || sleeps[1].Process == nil {
+		t.Fatal("process rows (outage 0) do not sort before the 5m point row")
+	}
+	if sleeps[0].Process.Seed != 42 || sleeps[1].Process.Seed != 43 {
+		t.Fatalf("process rows not seed-ordered: %d, %d", sleeps[0].Process.Seed, sleeps[1].Process.Seed)
+	}
+	if sleeps[2].Process != nil {
+		t.Fatal("point row missing from the tail of the group")
+	}
+}
+
+func sameStoredRow(a, b *StoredRow) bool {
+	if a.Op != b.Op || a.Workload != b.Workload || a.Technique != b.Technique || a.OutageNS != b.OutageNS {
+		return false
+	}
+	if (a.Process == nil) != (b.Process == nil) {
+		return false
+	}
+	if a.Process != nil && *a.Process != *b.Process {
+		return false
+	}
+	return true
+}
+
+// TestProcessRowCodecRoundTrip: the StoredProcess payload survives the
+// row codec bit for bit, and the schema guard still rejects foreign
+// versions.
+func TestProcessRowCodecRoundTrip(t *testing.T) {
+	for i, r := range processQueryRows() {
+		payload, err := EncodeRow(r)
+		if err != nil {
+			t.Fatalf("row %d: EncodeRow: %v", i, err)
+		}
+		back, err := DecodeRow(payload)
+		if err != nil {
+			t.Fatalf("row %d: DecodeRow: %v", i, err)
+		}
+		if (back.Process == nil) != (r.Process == nil) {
+			t.Fatalf("row %d: payload shape did not round-trip", i)
+		}
+		if back.Process != nil && *back.Process != *r.Process {
+			t.Fatalf("row %d: process did not round-trip:\n got %+v\nwant %+v", i, back.Process, r.Process)
+		}
+	}
+}

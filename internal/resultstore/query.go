@@ -21,11 +21,12 @@ import (
 //	aggregate = "group" "by" field | "frontier"
 //
 // Fields: op, workload, config, family, technique, best (strings;
-// equality ops only), servers (int), perf, norm_cost (float), outage,
-// downtime (durations, e.g. "10m" or "1h30m"), feasible, survived
-// (bools). An empty filter matches every row. A comparison against a
-// field a row does not carry (e.g. feasible on an evaluate row) matches
-// nothing — it never errors.
+// equality ops only), servers, seed, draws (ints), perf, norm_cost,
+// availability (floats), outage, downtime (durations, e.g. "10m" or
+// "1h30m"), feasible, survived (bools). An empty filter matches every
+// row. A comparison against a field a row does not carry (e.g. feasible
+// on an evaluate row, or seed on a point-outage row) matches nothing —
+// it never errors.
 //
 // "group by F" folds matching rows into per-key count/min/max/mean
 // summaries of perf and norm_cost; "frontier" keeps the min-cost-per-perf
@@ -65,8 +66,8 @@ const (
 var queryFields = map[string]int{
 	"op": fString, "workload": fString, "config": fString, "family": fString,
 	"technique": fString, "best": fString,
-	"servers": fInt,
-	"perf":    fFloat, "norm_cost": fFloat,
+	"servers": fInt, "seed": fInt, "draws": fInt,
+	"perf": fFloat, "norm_cost": fFloat, "availability": fFloat,
 	"outage": fDur, "downtime": fDur,
 	"feasible": fBool, "survived": fBool,
 }
@@ -346,8 +347,22 @@ func fieldOf(r *StoredRow, field string) (s string, i int64, f float64, b bool, 
 		return r.Best, 0, 0, false, r.Best != ""
 	case "servers":
 		return "", int64(r.Servers), 0, false, true
+	case "seed":
+		if r.Process != nil {
+			return "", r.Process.Seed, 0, false, true
+		}
+	case "draws":
+		if r.Process != nil {
+			return "", int64(r.Process.Draws), 0, false, true
+		}
+	case "availability":
+		if r.Process != nil {
+			return "", 0, r.Process.Availability, false, true
+		}
 	case "outage":
-		return "", r.OutageNS, 0, false, true
+		if r.Process == nil {
+			return "", r.OutageNS, 0, false, true
+		}
 	case "feasible":
 		return "", 0, 0, r.Feasible, r.Op == "size"
 	case "survived":
@@ -358,6 +373,9 @@ func fieldOf(r *StoredRow, field string) (s string, i int64, f float64, b bool, 
 		if res := r.effResult(); res != nil {
 			return "", 0, res.Perf, false, true
 		}
+		if r.Process != nil {
+			return "", 0, r.Process.Perf, false, true
+		}
 	case "norm_cost":
 		if c, ok := r.normCost(); ok {
 			return "", 0, c, true, true
@@ -365,6 +383,9 @@ func fieldOf(r *StoredRow, field string) (s string, i int64, f float64, b bool, 
 	case "downtime":
 		if res := r.effResult(); res != nil {
 			return "", int64(res.Downtime), 0, false, true
+		}
+		if r.Process != nil {
+			return "", r.Process.ExpectedDowntimeNS, 0, false, true
 		}
 	}
 	return "", 0, 0, false, false
@@ -463,8 +484,53 @@ func sortRows(rows []StoredRow) {
 		if x.OutageNS != y.OutageNS {
 			return x.OutageNS < y.OutageNS
 		}
+		if c := compareProcess(x.Process, y.Process); c != 0 {
+			return c < 0
+		}
 		return x.Best < y.Best
 	})
+}
+
+// compareProcess orders process-row payload specs so two rows differing
+// only in their process (same coordinates, OutageNS both zero) still
+// sort deterministically. Point rows (nil) sort before process rows.
+func compareProcess(x, y *StoredProcess) int {
+	switch {
+	case x == nil && y == nil:
+		return 0
+	case x == nil:
+		return -1
+	case y == nil:
+		return 1
+	}
+	ord := []func() int{
+		func() int { return cmpOrd(x.Seed, y.Seed) },
+		func() int { return cmpOrd(x.Draws, y.Draws) },
+		func() int { return strings.Compare(x.ArrivalKind, y.ArrivalKind) },
+		func() int { return cmpOrd(x.ArrivalMeanNS, y.ArrivalMeanNS) },
+		func() int { return cmpOrd(x.ArrivalShape, y.ArrivalShape) },
+		func() int { return strings.Compare(x.DurationKind, y.DurationKind) },
+		func() int { return cmpOrd(x.DurationMeanNS, y.DurationMeanNS) },
+		func() int { return cmpOrd(x.DurationShape, y.DurationShape) },
+		func() int { return cmpOrd(x.Correlation, y.Correlation) },
+	}
+	for _, f := range ord {
+		if c := f(); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func cmpOrd[T int | int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // groupKey formats a row's group-by key canonically.

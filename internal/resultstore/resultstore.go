@@ -34,6 +34,11 @@ import (
 const (
 	NSScenario byte = 'S'
 	NSRow      byte = 'R'
+	// NSProcessRow keys stochastic-process sweep rows. Process rows get
+	// their own namespace byte so their fingerprints can never alias a
+	// point row's, even if the two invariant digests collided: the
+	// namespace is both the key prefix and part of the digested content.
+	NSProcessRow byte = 'P'
 )
 
 // Key is a stable 128-bit content fingerprint: the namespace byte

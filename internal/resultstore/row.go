@@ -33,6 +33,39 @@ type StoredRow struct {
 	Feasible  bool            `json:"feasible,omitempty"`
 	Result    *cluster.Result `json:"result,omitempty"`
 	Sizing    *StoredSizing   `json:"sizing,omitempty"`
+
+	// Process is a stochastic-process row's payload (NSProcessRow keys):
+	// the resolved process spec plus the process-level fold. OutageNS is
+	// zero for process rows; the spec fields below are the coordinate.
+	Process *StoredProcess `json:"process,omitempty"`
+}
+
+// StoredProcess is a process row's payload: the outage.Process spec that
+// was evaluated (for coordinate cross-checks) and core.ProcessResult's
+// content, without importing either package (the store sits below both).
+// Durations are nanosecond integers.
+type StoredProcess struct {
+	Seed           int64   `json:"seed"`
+	Draws          int     `json:"draws"`
+	ArrivalKind    string  `json:"arrival_kind"`
+	ArrivalMeanNS  int64   `json:"arrival_mean_ns,omitempty"`
+	ArrivalShape   float64 `json:"arrival_shape,omitempty"`
+	DurationKind   string  `json:"duration_kind"`
+	DurationMeanNS int64   `json:"duration_mean_ns,omitempty"`
+	DurationShape  float64 `json:"duration_shape,omitempty"`
+	Correlation    float64 `json:"correlation,omitempty"`
+
+	Events             int     `json:"events"`
+	Availability       float64 `json:"availability"`
+	ExpectedDowntimeNS int64   `json:"expected_downtime_ns"`
+	DowntimeP50NS      int64   `json:"downtime_p50_ns"`
+	DowntimeP95NS      int64   `json:"downtime_p95_ns"`
+	DowntimeP99NS      int64   `json:"downtime_p99_ns"`
+	DowntimeMaxNS      int64   `json:"downtime_max_ns"`
+	SurvivalRate       float64 `json:"survival_rate"`
+	Perf               float64 `json:"perf"`
+	EnergyShortfallWh  float64 `json:"energy_shortfall_wh"`
+	NormCost           float64 `json:"norm_cost"`
 }
 
 // StoredSizing is a size row's payload: core.OperatingPoint's content
@@ -89,6 +122,9 @@ func (r *StoredRow) normCost() (float64, bool) {
 	}
 	if r.Result != nil {
 		return r.Result.Cost, true
+	}
+	if r.Process != nil {
+		return r.Process.NormCost, true
 	}
 	return 0, false
 }
